@@ -1,0 +1,159 @@
+// Benchmarks, one per experiment in DESIGN.md §4 (E1..E12, A1..A3). Each
+// benchmark exercises the code path that regenerates the corresponding
+// EXPERIMENTS.md table; `go test -bench=. -benchmem` therefore re-runs the
+// entire reproduction surface. Benchmarks use fixed seeds so allocations and
+// timings are comparable across runs.
+package treesched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/decomp"
+	"treesched/internal/dist"
+	"treesched/internal/engine"
+	"treesched/internal/experiments"
+	"treesched/internal/graph/graphtest"
+	"treesched/internal/seq"
+	"treesched/internal/workload"
+)
+
+// runExperiment benches the full experiment table generation (quick mode).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Config{Seed: 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Figure1(b *testing.B)       { runExperiment(b, "E1") }
+func BenchmarkE2Figure2(b *testing.B)       { runExperiment(b, "E2") }
+func BenchmarkE3Decomposition(b *testing.B) { runExperiment(b, "E3") }
+func BenchmarkE4IdealDecomp(b *testing.B)   { runExperiment(b, "E4") }
+func BenchmarkE5Layered(b *testing.B)       { runExperiment(b, "E5") }
+func BenchmarkE6UnitTree(b *testing.B)      { runExperiment(b, "E6") }
+func BenchmarkE7ArbitraryTree(b *testing.B) { runExperiment(b, "E7") }
+func BenchmarkE8LineUnit(b *testing.B)      { runExperiment(b, "E8") }
+func BenchmarkE9LineArbitrary(b *testing.B) { runExperiment(b, "E9") }
+func BenchmarkE10StageSteps(b *testing.B)   { runExperiment(b, "E10") }
+func BenchmarkE11SequentialTree(b *testing.B) {
+	runExperiment(b, "E11")
+}
+func BenchmarkE12Messages(b *testing.B)      { runExperiment(b, "E12") }
+func BenchmarkA1DecompAblation(b *testing.B) { runExperiment(b, "A1") }
+func BenchmarkA2StageAblation(b *testing.B)  { runExperiment(b, "A2") }
+func BenchmarkA3Equivalence(b *testing.B)    { runExperiment(b, "A3") }
+
+// --- component-level benchmarks -----------------------------------------
+
+// BenchmarkIdealDecomposition measures Lemma 4.1 construction cost by size.
+func BenchmarkIdealDecomposition(b *testing.B) {
+	for _, n := range []int{63, 255, 1023, 4095} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tr := graphtest.RandomTree(n, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := decomp.Ideal(tr)
+				if h.PivotSize() > 2 {
+					b.Fatal("pivot size exceeded 2")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineUnitTree measures the full two-phase run by instance size.
+func BenchmarkEngineUnitTree(b *testing.B) {
+	for _, sz := range []struct{ n, m, r int }{{64, 48, 2}, {256, 192, 3}, {1024, 768, 3}} {
+		b.Run(fmt.Sprintf("m=%d", sz.m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			in, err := workload.RandomTreeInstance(workload.TreeConfig{
+				Vertices: sz.n, Trees: sz.r, Demands: sz.m, ProfitRatio: 16,
+			}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedProtocol measures the simnet execution end to end.
+func BenchmarkDistributedProtocol(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 24, Trees: 2, Demands: 16, ProfitRatio: 4,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendixA measures the sequential baseline.
+func BenchmarkAppendixA(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 128, Trees: 2, Demands: 96, ProfitRatio: 16,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seq.AppendixA(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBruteForce measures the exact solver at its size limit.
+func BenchmarkBruteForce(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 16, Trees: 3, Demands: 9, ProfitRatio: 8,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.Brute(items, true)
+	}
+}

@@ -1,0 +1,56 @@
+// Command schedbench runs the reproduction experiment suite (DESIGN.md §4,
+// experiments E1..E12 and ablations A1..A3) and prints the result tables
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	schedbench [-experiment all|E1|...|A3] [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"treesched/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (E1..E12, A1..A3) or 'all'")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	)
+	flag.Parse()
+	if err := run(*which, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, seed int64, quick bool) error {
+	cfg := experiments.Config{Seed: seed, Quick: quick}
+	var list []experiments.Experiment
+	if which == "all" {
+		list = experiments.All()
+	} else {
+		e, err := experiments.Lookup(which)
+		if err != nil {
+			return err
+		}
+		list = []experiments.Experiment{e}
+	}
+	for _, e := range list {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("E1", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("E99", 1, true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Command schedgen generates random problem instances as JSON for use with
+// schedrun.
+//
+// Usage:
+//
+//	schedgen -kind tree -n 64 -trees 3 -demands 40 [-profit-ratio 16] [-heights unit|wide|narrow|mixed] [-seed 1] > inst.json
+//	schedgen -kind line -slots 50 -resources 2 -demands 20 [-slack 4] > inst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"treesched/internal/workload"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "tree", "instance kind: tree or line")
+		n           = flag.Int("n", 64, "vertices (tree)")
+		trees       = flag.Int("trees", 2, "number of tree-networks")
+		slots       = flag.Int("slots", 50, "timeslots (line)")
+		resources   = flag.Int("resources", 2, "resources (line)")
+		demands     = flag.Int("demands", 30, "number of demands")
+		profitRatio = flag.Float64("profit-ratio", 8, "pmax/pmin")
+		heights     = flag.String("heights", "unit", "height mix: unit, wide, narrow, mixed")
+		hmin        = flag.Float64("hmin", 0.05, "minimum height for narrow/mixed")
+		shape       = flag.String("shape", "random", "tree topology: random, path, star, caterpillar, binary")
+		slack       = flag.Int("slack", 0, "window slack beyond processing time (line)")
+		seed        = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *n, *trees, *slots, *resources, *demands, *profitRatio, *heights, *hmin, *shape, *slack, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "schedgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind string, n, trees, slots, resources, demands int, profitRatio float64,
+	heights string, hmin float64, shape string, slack int, seed int64) error {
+
+	var mix workload.HeightMix
+	switch heights {
+	case "unit":
+		mix = workload.UnitHeights
+	case "wide":
+		mix = workload.WideHeights
+	case "narrow":
+		mix = workload.NarrowHeights
+	case "mixed":
+		mix = workload.MixedHeights
+	default:
+		return fmt.Errorf("unknown height mix %q", heights)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "tree":
+		in, err := workload.RandomTreeInstance(workload.TreeConfig{
+			Vertices: n, Trees: trees, Demands: demands, ProfitRatio: profitRatio,
+			Heights: mix, HMin: hmin, Shape: workload.Topology(shape),
+		}, rng)
+		if err != nil {
+			return err
+		}
+		return in.WriteJSON(w)
+	case "line":
+		in, err := workload.RandomLineInstance(workload.LineConfig{
+			Slots: slots, Resources: resources, Demands: demands, ProfitRatio: profitRatio,
+			Heights: mix, HMin: hmin, WindowSlack: slack,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		return in.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown kind %q (want tree or line)", kind)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"treesched/internal/model"
+)
+
+func TestGenerateTreeInstance(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "tree", 20, 2, 0, 0, 12, 8, "unit", 0.05, "random", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, raw, err := model.SniffKind(&buf)
+	if err != nil || kind != "tree" {
+		t.Fatalf("kind %q, err %v", kind, err)
+	}
+	in, err := model.ReadInstanceJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Demands) != 12 || len(in.Trees) != 2 {
+		t.Errorf("generated %d demands on %d trees", len(in.Demands), len(in.Trees))
+	}
+}
+
+func TestGenerateLineInstance(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "line", 0, 0, 30, 2, 8, 4, "narrow", 0.1, "random", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, raw, err := model.SniffKind(&buf)
+	if err != nil || kind != "line" {
+		t.Fatalf("kind %q, err %v", kind, err)
+	}
+	in, err := model.ReadLineInstanceJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Demands) != 8 || in.NumSlots != 30 {
+		t.Errorf("generated %+v", in)
+	}
+}
+
+func TestGenerateRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "mesh", 10, 1, 0, 0, 5, 1, "unit", 0.05, "random", 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(&buf, "tree", 10, 1, 0, 0, 5, 1, "sideways", 0.05, "random", 0, 1); err == nil {
+		t.Error("unknown height mix accepted")
+	}
+	if err := run(&buf, "tree", 10, 1, 0, 0, 5, 1, "unit", 0.05, "moebius", 0, 1); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "tree", 16, 2, 0, 0, 10, 4, "mixed", 0.1, "caterpillar", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "tree", 16, 2, 0, 0, 10, 4, "mixed", 0.1, "caterpillar", 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treesched/internal/workload"
+)
+
+func writeInstance(t *testing.T, kind string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	switch kind {
+	case "tree":
+		in, err := workload.RandomTreeInstance(workload.TreeConfig{
+			Vertices: 12, Trees: 2, Demands: 8, ProfitRatio: 4,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	case "line":
+		in, err := workload.RandomLineInstance(workload.LineConfig{
+			Slots: 20, Resources: 2, Demands: 6, ProcMin: 2, ProcMax: 5,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestRunTreeAlgorithms(t *testing.T) {
+	path := writeInstance(t, "tree")
+	for _, algo := range []string{"auto", "unit", "arbitrary", "sequential", "exact"} {
+		if err := run(path, algo, 0.1, 1, false, "ideal"); err != nil {
+			t.Errorf("algorithm %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunTreeSimulated(t *testing.T) {
+	path := writeInstance(t, "tree")
+	if err := run(path, "unit", 0.3, 1, true, "ideal"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLine(t *testing.T) {
+	path := writeInstance(t, "line")
+	for _, algo := range []string{"auto", "unit", "exact"} {
+		if err := run(path, algo, 0.1, 1, false, "ideal"); err != nil {
+			t.Errorf("algorithm %s: %v", algo, err)
+		}
+	}
+	if err := run(path, "sequential", 0.1, 1, false, "ideal"); err == nil {
+		t.Error("sequential on line accepted")
+	}
+}
+
+func TestRunDecompositionChoices(t *testing.T) {
+	path := writeInstance(t, "tree")
+	for _, d := range []string{"ideal", "balancing", "rootfix"} {
+		if err := run(path, "unit", 0.2, 1, false, d); err != nil {
+			t.Errorf("decomp %s: %v", d, err)
+		}
+	}
+	if err := run(path, "unit", 0.2, 1, false, "fancy"); err == nil ||
+		!strings.Contains(err.Error(), "decomposition") {
+		t.Errorf("unknown decomposition accepted: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "auto", 0.1, 1, false, "ideal"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeInstance(t, "tree")
+	if err := run(path, "quantum", 0.1, 1, false, "ideal"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

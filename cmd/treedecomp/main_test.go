@@ -1,0 +1,65 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treesched/internal/workload"
+)
+
+func writeTreeInstance(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 20, Trees: 2, Demands: 5,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := in.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDecompKindsWithValidation(t *testing.T) {
+	path := writeTreeInstance(t)
+	for _, kind := range []string{"ideal", "balancing", "rootfix"} {
+		if err := run(path, kind, true); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if err := run(path, "mystery", false); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRejectsLineInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in, err := workload.RandomLineInstance(workload.LineConfig{
+		Slots: 10, Resources: 1, Demands: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "line.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "ideal", false); err == nil {
+		t.Error("line instance accepted by treedecomp")
+	}
+}

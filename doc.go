@@ -1,0 +1,32 @@
+// Package treesched implements the distributed scheduling algorithms of
+// Chakaravarthy, Roy and Sabharwal, "Distributed Algorithms for Scheduling
+// on Line and Tree Networks" (PODC 2012, arXiv:1205.1924): constant-factor
+// approximation algorithms for throughput maximization — selecting and
+// placing a maximum-profit set of point-to-point demands on tree-networks
+// (or line resources with time windows) under unit edge capacities — that
+// run in a polylogarithmic number of synchronous communication rounds.
+//
+// The package offers:
+//
+//   - (7+ε)-approximation for unit-height demands on tree networks
+//     (Theorem 5.3), built on the paper's ideal tree decompositions
+//     (Lemma 4.1) and layered decompositions (Lemma 4.2/4.3);
+//   - (80+ε)-approximation for arbitrary heights on trees (Theorem 6.3);
+//   - (4+ε) / (23+ε)-approximations for line networks with release-time/
+//     deadline windows (Theorems 7.1 and 7.2);
+//   - the sequential 3-approximation of Appendix A and exact solvers for
+//     small instances as baselines;
+//   - a faithful synchronous message-passing execution (one goroutine per
+//     processor) with honest round and message accounting, bit-identical to
+//     the fast in-process execution.
+//
+// Quick start:
+//
+//	inst := treesched.NewInstance(8)
+//	t0, _ := inst.AddTree([][2]int{{0, 1}, {1, 2}, {1, 3}, {0, 4}, {4, 5}, {4, 6}, {6, 7}})
+//	inst.AddDemand(2, 3, 5.0, treesched.Access(t0))
+//	inst.AddDemand(0, 7, 3.0, treesched.Access(t0))
+//	res, err := treesched.Solve(inst, treesched.Options{Epsilon: 0.1, Seed: 1})
+//	// res.Assignments: which demands run on which networks
+//	// res.DualBound:   certified upper bound on the optimum
+package treesched

@@ -1,0 +1,72 @@
+package treesched_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	treesched "treesched"
+)
+
+// ExampleSolve schedules three demands on a small tree-network and prints
+// the certified result. Demands 0 and 2 conflict on the edge (0,1); the
+// algorithm keeps the more profitable one.
+func ExampleSolve() {
+	inst := treesched.NewInstance(6)
+	net, err := inst.AddTree([][2]int{{0, 1}, {1, 2}, {1, 3}, {0, 4}, {4, 5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.AddDemand(2, 3, 5.0, treesched.Access(net)) // uses edges (1,2),(1,3)
+	inst.AddDemand(4, 5, 3.0, treesched.Access(net)) // uses edge (4,5)
+	inst.AddDemand(2, 4, 1.0, treesched.Access(net)) // conflicts with demand 0
+
+	res, err := treesched.Solve(inst, treesched.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	demands := []int{}
+	for _, a := range res.Assignments {
+		demands = append(demands, a.Demand)
+	}
+	sort.Ints(demands)
+	fmt.Println("scheduled demands:", demands)
+	fmt.Println("profit:", res.Profit)
+	// Output:
+	// scheduled demands: [0 1]
+	// profit: 8
+}
+
+// ExampleSolveLine schedules two time-windowed jobs on one resource.
+func ExampleSolveLine() {
+	line := treesched.NewLineInstance(10, 1)
+	line.AddJob(1, 6, 4, 2.0)  // window [1,6], needs 4 slots
+	line.AddJob(5, 10, 4, 3.0) // window [5,10], needs 4 slots
+
+	res, err := treesched.SolveLine(line, treesched.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("jobs scheduled:", len(res.Assignments))
+	fmt.Println("profit:", res.Profit)
+	// Output:
+	// jobs scheduled: 2
+	// profit: 5
+}
+
+// ExampleVerify demonstrates independent validation of a schedule.
+func ExampleVerify() {
+	inst := treesched.NewInstance(4)
+	net, err := inst.AddTree([][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.AddDemand(0, 1, 1.0, treesched.Access(net))
+	res, err := treesched.Solve(inst, treesched.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", treesched.Verify(inst, res) == nil)
+	// Output:
+	// feasible: true
+}

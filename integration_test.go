@@ -1,0 +1,182 @@
+package treesched_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	treesched "treesched"
+	"treesched/internal/engine"
+	"treesched/internal/model"
+	"treesched/internal/seq"
+	"treesched/internal/workload"
+)
+
+// TestAlgorithmMatrix runs every applicable algorithm over a corpus of
+// instances and checks the full consistency web on each:
+//
+//   - every solution passes independent verification;
+//   - the exact optimum never exceeds any algorithm's certified dual bound;
+//   - every algorithm's profit × proven guarantee covers the optimum;
+//   - simulated and in-process runs agree.
+func TestAlgorithmMatrix(t *testing.T) {
+	corpus := []struct {
+		name    string
+		shape   workload.Topology
+		heights workload.HeightMix
+		trees   int
+	}{
+		{"random-unit", workload.Random, workload.UnitHeights, 2},
+		{"path-unit", workload.Path, workload.UnitHeights, 2},
+		{"star-unit", workload.Star, workload.UnitHeights, 1},
+		{"caterpillar-unit", workload.Caterpillar, workload.UnitHeights, 3},
+		{"binary-narrow", workload.Binary, workload.NarrowHeights, 2},
+		{"random-mixed", workload.Random, workload.MixedHeights, 2},
+		{"random-wide", workload.Random, workload.WideHeights, 2},
+	}
+	for _, tc := range corpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(2000 + seed))
+				min, err := workload.RandomTreeInstance(workload.TreeConfig{
+					Vertices: 12, Trees: tc.trees, Demands: 8, ProfitRatio: 6,
+					Shape: tc.shape, Heights: tc.heights, HMin: 0.15,
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst := apiInstanceFrom(t, min)
+
+				items, err := engine.BuildTreeItems(min, engine.IdealDecomp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				unit := tc.heights == workload.UnitHeights
+				opt, _ := seq.Brute(items, unit)
+
+				algos := []treesched.Algorithm{treesched.Auto}
+				if unit {
+					algos = append(algos, treesched.DistributedUnit, treesched.SequentialTree)
+				}
+				for _, algo := range algos {
+					for _, simulate := range []bool{false, true} {
+						if simulate && algo == treesched.SequentialTree {
+							continue
+						}
+						label := fmt.Sprintf("seed=%d algo=%v sim=%v", seed, algo, simulate)
+						res, err := treesched.Solve(inst, treesched.Options{
+							Algorithm: algo, Seed: seed, Epsilon: 0.2, Simulate: simulate,
+						})
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if err := treesched.Verify(inst, res); err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if res.DualBound > 0 && opt > res.DualBound+1e-6 {
+							t.Fatalf("%s: optimum %v exceeds dual bound %v", label, opt, res.DualBound)
+						}
+						if res.Profit*res.Guarantee < opt-1e-6 {
+							t.Fatalf("%s: guarantee violated: %v × %v < %v", label, res.Profit, res.Guarantee, opt)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// apiInstanceFrom mirrors a model.Instance through the public builder.
+func apiInstanceFrom(t *testing.T, m *model.Instance) *treesched.Instance {
+	t.Helper()
+	inst := treesched.NewInstance(m.NumVertices)
+	for _, tr := range m.Trees {
+		edges := make([][2]int, 0, tr.N()-1)
+		for _, e := range tr.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		if _, err := inst.AddTree(edges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range m.Demands {
+		inst.AddDemand(d.U, d.V, d.Profit, treesched.Height(d.Height), treesched.Access(d.Access...))
+	}
+	return inst
+}
+
+// TestLineAlgorithmMatrix is the analogous consistency web for line
+// instances with windows.
+func TestLineAlgorithmMatrix(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		heights := workload.UnitHeights
+		if seed%2 == 1 {
+			heights = workload.MixedHeights
+		}
+		min, err := workload.RandomLineInstance(workload.LineConfig{
+			Slots: 20, Resources: 2, Demands: 7, ProfitRatio: 6,
+			ProcMin: 2, ProcMax: 5, WindowSlack: 1,
+			Heights: heights, HMin: 0.15,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := treesched.NewLineInstance(min.NumSlots, min.NumResources)
+		for _, d := range min.Demands {
+			line.AddJob(d.Release, d.Deadline, d.Proc, d.Profit,
+				treesched.JobHeight(d.Height), treesched.JobAccess(d.Access...))
+		}
+		items, err := engine.BuildLineItems(min)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) > seq.BruteForceLimit {
+			continue
+		}
+		opt, _ := seq.Brute(items, heights == workload.UnitHeights)
+
+		for _, simulate := range []bool{false, true} {
+			res, err := treesched.SolveLine(line, treesched.Options{
+				Seed: seed, Epsilon: 0.2, Simulate: simulate,
+			})
+			if err != nil {
+				t.Fatalf("seed %d sim=%v: %v", seed, simulate, err)
+			}
+			if err := treesched.VerifyLine(line, res); err != nil {
+				t.Fatalf("seed %d sim=%v: %v", seed, simulate, err)
+			}
+			if opt > res.DualBound+1e-6 {
+				t.Fatalf("seed %d sim=%v: optimum %v exceeds bound %v", seed, simulate, opt, res.DualBound)
+			}
+			if res.Profit*res.Guarantee < opt-1e-6 {
+				t.Fatalf("seed %d sim=%v: guarantee violated", seed, simulate)
+			}
+		}
+	}
+}
+
+// TestGuaranteeMonotoneInEpsilon: smaller ε tightens the reported guarantee.
+func TestGuaranteeMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4000))
+	min, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 14, Trees: 2, Demands: 8, ProfitRatio: 4,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := apiInstanceFrom(t, min)
+	var last float64 = math.Inf(1)
+	for _, eps := range []float64{0.5, 0.3, 0.1, 0.05} {
+		res, err := treesched.Solve(inst, treesched.Options{Epsilon: eps, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Guarantee > last+1e-12 {
+			t.Fatalf("guarantee %v at ε=%v worse than %v at larger ε", res.Guarantee, eps, last)
+		}
+		last = res.Guarantee
+	}
+}

@@ -1,0 +1,42 @@
+package decomp
+
+import "treesched/internal/graph"
+
+// AdversarialBalancingTree builds a tree on which the balancing
+// decomposition of §4.2 exhibits its worst case: pivot size θ = Θ(log n),
+// while the ideal decomposition (§4.3) keeps θ ≤ 2 on the same tree. It
+// demonstrates why Lemma 4.1 is necessary for a constant approximation
+// ratio with polylogarithmic rounds.
+//
+// Construction: a hub c carries arms u_1..u_k; arm u_i holds a star blob
+// B_i sized so that u_i is a lowest-id centroid of the remaining component
+// {c, u_i.., B_i..} (sizes satisfy t_{k+1} = 1 and t_i = 2·t_{i+1}+2 with
+// |B_i| = t_{i+1}+1). Splitting at u_i peels off B_i and leaves
+// {c, u_{i+1}.., B_{i+1}..}, whose outside neighborhood accumulates to
+// {u_1, ..., u_i}; the balancing decomposition therefore certifies only
+// θ ≥ k-1. Vertex ids: c = 0, u_i = i, blob vertices afterwards (the
+// centroid tie-break by lowest id selects u_i over blob centers).
+//
+// The returned tree has n = 2^(k+1) - 2 vertices.
+func AdversarialBalancingTree(k int) *graph.Tree {
+	t := make([]int, k+2)
+	t[k+1] = 1
+	for i := k; i >= 1; i-- {
+		t[i] = 2*t[i+1] + 2
+	}
+	n := t[1]
+	var edges []graph.Edge
+	next := k + 1 // first free vertex id for blob vertices
+	for i := 1; i <= k; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i})
+		blob := t[i+1] + 1
+		center := next
+		next++
+		edges = append(edges, graph.Edge{U: i, V: center})
+		for j := 1; j < blob; j++ {
+			edges = append(edges, graph.Edge{U: center, V: next})
+			next++
+		}
+	}
+	return graph.MustTree(n, edges)
+}

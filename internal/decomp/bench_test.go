@@ -1,0 +1,52 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/graph/graphtest"
+)
+
+func BenchmarkDecompositions(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := graphtest.RandomTree(1023, rng)
+	b.Run("ideal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Ideal(tr)
+		}
+	})
+	b.Run("balancing", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Balancing(tr)
+		}
+	})
+	b.Run("rootfix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RootFixing(tr, 0)
+		}
+	})
+}
+
+func BenchmarkLayeredAssign(b *testing.B) {
+	for _, n := range []int{255, 2047} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			tr := graphtest.RandomTree(n, rng)
+			l := NewLayered(Ideal(tr))
+			us := make([]int, 256)
+			vs := make([]int, 256)
+			for i := range us {
+				us[i], vs[i] = rng.Intn(n), (rng.Intn(n-1)+us[i]+1)%n
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Assign(us[i%256], vs[i%256])
+			}
+		})
+	}
+}

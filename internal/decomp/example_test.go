@@ -1,0 +1,45 @@
+package decomp_test
+
+import (
+	"fmt"
+
+	"treesched/internal/decomp"
+	"treesched/internal/graph"
+)
+
+// ExampleIdeal builds the ideal tree decomposition (Lemma 4.1) of a small
+// tree and reports its parameters.
+func ExampleIdeal() {
+	// The path 0-1-2-3-4-5-6.
+	t, err := graph.NewPath(7)
+	if err != nil {
+		panic(err)
+	}
+	h := decomp.Ideal(t)
+	fmt.Println("depth:", h.MaxDepth())
+	fmt.Println("pivot size θ:", h.PivotSize())
+	fmt.Println("valid:", h.Validate() == nil)
+	// Output:
+	// depth: 3
+	// pivot size θ: 2
+	// valid: true
+}
+
+// ExampleLayered_Assign shows the Lemma 4.2 transform: the demand <0,6>
+// spans the whole path, is captured at the root of H, and receives at most
+// 2(θ+1) critical edges.
+func ExampleLayered_Assign() {
+	t, err := graph.NewPath(7)
+	if err != nil {
+		panic(err)
+	}
+	l := decomp.NewLayered(decomp.Ideal(t))
+	group, critical := l.Assign(0, 6)
+	fmt.Println("groups:", l.Length)
+	fmt.Println("group of <0,6>:", group)
+	fmt.Println("|π| ≤", l.MaxCriticalSize(), "got", len(critical))
+	// Output:
+	// groups: 3
+	// group of <0,6>: 3
+	// |π| ≤ 6 got 2
+}

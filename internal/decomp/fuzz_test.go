@@ -1,0 +1,87 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/graph/graphtest"
+)
+
+// FuzzIdealDecomposition drives the ideal construction over arbitrary random
+// trees and checks the Lemma 4.1 guarantees plus full validity. Run with
+// `go test -fuzz FuzzIdealDecomposition ./internal/decomp` to explore beyond
+// the seed corpus.
+func FuzzIdealDecomposition(f *testing.F) {
+	f.Add(int64(1), uint8(10))
+	f.Add(int64(42), uint8(100))
+	f.Add(int64(7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		n := int(size)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := graphtest.RandomTree(n, rng)
+		h := Ideal(tr)
+		if θ := h.PivotSize(); θ > 2 {
+			t.Fatalf("n=%d seed=%d: pivot size %d > 2", n, seed, θ)
+		}
+		if d, bound := h.MaxDepth(), 2*log2CeilFuzz(n)+1; d > bound {
+			t.Fatalf("n=%d seed=%d: depth %d > %d", n, seed, d, bound)
+		}
+		if n <= 80 { // Validate is O(n²); keep the fuzz loop fast
+			if err := h.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	})
+}
+
+// FuzzLayeredInterference checks the Lemma 4.2 interference property on
+// fuzzed demand pairs.
+func FuzzLayeredInterference(f *testing.F) {
+	f.Add(int64(3), uint8(40), uint8(1), uint8(17), uint8(5), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, size, a, b, c, d uint8) {
+		n := int(size)%120 + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := graphtest.RandomTree(n, rng)
+		l := NewLayered(Ideal(tr))
+		u1, v1 := int(a)%n, int(b)%n
+		u2, v2 := int(c)%n, int(d)%n
+		if u1 == v1 || u2 == v2 {
+			return
+		}
+		g1, crit1 := l.Assign(u1, v1)
+		g2, _ := l.Assign(u2, v2)
+		if g1 > g2 {
+			return
+		}
+		edges2 := map[int]bool{}
+		for _, e := range tr.PathEdges(u2, v2) {
+			edges2[e] = true
+		}
+		overlap := false
+		for _, e := range tr.PathEdges(u1, v1) {
+			if edges2[e] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			return
+		}
+		for _, e := range crit1 {
+			if edges2[e] {
+				return // property holds
+			}
+		}
+		t.Fatalf("n=%d seed=%d: interference violated for <%d,%d> grp %d vs <%d,%d> grp %d",
+			n, seed, u1, v1, g1, u2, v2, g2)
+	})
+}
+
+func log2CeilFuzz(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p *= 2
+		k++
+	}
+	return k
+}

@@ -1,0 +1,106 @@
+package decomp
+
+import (
+	"treesched/internal/graph"
+	"treesched/internal/model"
+)
+
+// Layered is a layered decomposition (§4.4) of one tree-network: an
+// assignment of every demand instance to a group 1..Length (the paper's σ,
+// group 1 processed first) plus the critical-edge map π. It is derived from
+// a tree decomposition via Lemma 4.2, so ∆ = 2(θ+1) and Length = depth(H).
+type Layered struct {
+	H      *TreeDecomposition
+	Length int // number of groups ℓ
+}
+
+// NewLayered wraps a tree decomposition as a layered decomposition.
+func NewLayered(h *TreeDecomposition) *Layered {
+	return &Layered{H: h, Length: h.MaxDepth()}
+}
+
+// Assign computes the group index (1-based; 1 = processed first = captured
+// deepest) and the critical edges π(d) for the demand instance with
+// endpoints u, v, following the construction in the proof of Lemma 4.2:
+// π(d) contains the wings of the capture node µ(d) on path(d) plus, for
+// each pivot neighbor of C(µ(d)), the wings of the bending point of d with
+// respect to that neighbor. |π(d)| ≤ 2(θ+1).
+func (l *Layered) Assign(u, v graph.Vertex) (group int, critical []graph.EdgeID) {
+	t := l.H.T
+	pathV := t.PathVertices(u, v)
+	pathE := t.PathEdges(u, v)
+	z := l.H.Capture(pathV)
+	group = l.Length - l.H.Depth[z] + 1
+
+	// Position of each path vertex, to find wings in O(1).
+	pos := make(map[graph.Vertex]int, len(pathV))
+	for i, x := range pathV {
+		pos[x] = i
+	}
+	seen := make(map[graph.EdgeID]bool, 2*(len(l.H.Pivot[z])+1))
+	addWings := func(y graph.Vertex) {
+		i := pos[y]
+		if i > 0 && !seen[pathE[i-1]] {
+			seen[pathE[i-1]] = true
+			critical = append(critical, pathE[i-1])
+		}
+		if i < len(pathE) && !seen[pathE[i]] {
+			seen[pathE[i]] = true
+			critical = append(critical, pathE[i])
+		}
+	}
+	addWings(z)
+	for _, nb := range l.H.Pivot[z] {
+		// Bending point of d with respect to nb: the unique path vertex
+		// closest to nb, i.e. the median of the endpoints and nb.
+		y := t.Median(u, v, nb)
+		addWings(y)
+	}
+	return group, critical
+}
+
+// AssignInstance is Assign lifted to a model.DemandInstance, producing
+// critical edges as global EdgeKeys on the instance's tree.
+func (l *Layered) AssignInstance(di *model.DemandInstance) (group int, critical []model.EdgeKey) {
+	g, edges := l.Assign(di.U, di.V)
+	out := make([]model.EdgeKey, len(edges))
+	for i, e := range edges {
+		out[i] = model.MakeEdgeKey(di.Tree, e)
+	}
+	return g, out
+}
+
+// MaxCriticalSize returns the guaranteed bound ∆ = 2(θ+1) of Lemma 4.2.
+func (l *Layered) MaxCriticalSize() int {
+	return 2 * (l.H.PivotSize() + 1)
+}
+
+// LineAssign computes the group and critical slots for a line demand
+// instance per §7: groups partition instances by length into
+// ⌈log₂(Lmax/Lmin)⌉+1 categories (group i holds lengths in
+// [2^(i-1)·Lmin, 2^i·Lmin)), and π(d) = {s(d), mid(d), e(d)}, so ∆ = 3.
+// lmin is the minimum instance length over the whole input.
+func LineAssign(di *model.LineDemandInstance, lmin int) (group int, critical []int) {
+	group = 1
+	for l := di.Len(); l >= 2*lmin; l /= 2 {
+		group++
+	}
+	critical = append(critical, di.Start)
+	if m := di.Mid(); m != di.Start && m != di.End {
+		critical = append(critical, m)
+	}
+	if di.End != di.Start {
+		critical = append(critical, di.End)
+	}
+	return group, critical
+}
+
+// LineGroups returns the number of groups for the given length range:
+// ⌈log₂(Lmax/Lmin)⌉+1 (at least 1).
+func LineGroups(lmin, lmax int) int {
+	g := 1
+	for l := lmax; l >= 2*lmin; l /= 2 {
+		g++
+	}
+	return g
+}

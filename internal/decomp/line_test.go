@@ -1,0 +1,101 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/model"
+)
+
+func TestLineAssignGroupsByLength(t *testing.T) {
+	tests := []struct {
+		length, lmin, want int
+	}{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 2}, {4, 1, 3}, {7, 1, 3}, {8, 1, 4},
+		{5, 5, 1}, {9, 5, 1}, {10, 5, 2}, {19, 5, 2}, {20, 5, 3},
+	}
+	for _, tc := range tests {
+		di := model.LineDemandInstance{Start: 1, End: tc.length}
+		g, _ := LineAssign(&di, tc.lmin)
+		if g != tc.want {
+			t.Errorf("LineAssign(len=%d, lmin=%d) group = %d, want %d", tc.length, tc.lmin, g, tc.want)
+		}
+	}
+}
+
+func TestLineAssignCriticalSlots(t *testing.T) {
+	di := model.LineDemandInstance{Start: 4, End: 9}
+	_, crit := LineAssign(&di, 1)
+	want := []int{4, 6, 9}
+	if len(crit) != 3 {
+		t.Fatalf("critical = %v, want %v", crit, want)
+	}
+	for i := range want {
+		if crit[i] != want[i] {
+			t.Fatalf("critical = %v, want %v", crit, want)
+		}
+	}
+	// Length-1 and length-2 instances deduplicate.
+	short := model.LineDemandInstance{Start: 5, End: 5}
+	if _, c := LineAssign(&short, 1); len(c) != 1 || c[0] != 5 {
+		t.Errorf("length-1 critical = %v, want [5]", c)
+	}
+	two := model.LineDemandInstance{Start: 5, End: 6}
+	if _, c := LineAssign(&two, 1); len(c) != 2 {
+		t.Errorf("length-2 critical = %v, want two slots", c)
+	}
+}
+
+// TestLineInterferenceProperty verifies the §7 layered decomposition: for
+// overlapping instances d1 (group i) and d2 (group j) with i ≤ j, d2's
+// interval contains one of d1's critical slots {s, mid, e}.
+func TestLineInterferenceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lmin := 1 + r.Intn(4)
+		mk := func() model.LineDemandInstance {
+			s := 1 + r.Intn(40)
+			return model.LineDemandInstance{Start: s, End: s + lmin - 1 + r.Intn(20)}
+		}
+		d1, d2 := mk(), mk()
+		g1, c1 := LineAssign(&d1, lmin)
+		g2, _ := LineAssign(&d2, lmin)
+		if g1 > g2 {
+			return true // property only constrains i ≤ j
+		}
+		if !model.LineOverlapping(&d1, &d2) {
+			return true
+		}
+		for _, slot := range c1 {
+			if slot >= d2.Start && slot <= d2.End {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineGroupsCount(t *testing.T) {
+	tests := []struct {
+		lmin, lmax, want int
+	}{
+		{1, 1, 1}, {1, 2, 2}, {1, 3, 2}, {1, 4, 3}, {1, 100, 7}, {5, 5, 1}, {5, 40, 4},
+	}
+	for _, tc := range tests {
+		if got := LineGroups(tc.lmin, tc.lmax); got != tc.want {
+			t.Errorf("LineGroups(%d,%d) = %d, want %d", tc.lmin, tc.lmax, got, tc.want)
+		}
+	}
+	// Group index of the longest instance equals LineGroups(lmin, lmax).
+	for _, tc := range tests {
+		di := model.LineDemandInstance{Start: 1, End: tc.lmax}
+		g, _ := LineAssign(&di, tc.lmin)
+		if g != tc.want {
+			t.Errorf("longest instance group = %d, want %d", g, tc.want)
+		}
+	}
+}

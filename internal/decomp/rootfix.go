@@ -1,0 +1,40 @@
+package decomp
+
+import "treesched/internal/graph"
+
+// RootFixing builds the root-fixing tree decomposition of §4.2: H is T
+// itself re-rooted at g. Pivot size θ = 1, but the depth can be as large as
+// n. The sequential Appendix-A algorithm implicitly uses this decomposition.
+func RootFixing(t *graph.Tree, g graph.Vertex) *TreeDecomposition {
+	n := t.N()
+	h := &TreeDecomposition{
+		T:      t,
+		Root:   g,
+		Parent: make([]graph.Vertex, n),
+		Pivot:  make([][]graph.Vertex, n),
+	}
+	for v := range h.Parent {
+		h.Parent[v] = -2
+	}
+	h.Parent[g] = -1
+	queue := []graph.Vertex{g}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.Adj(v) {
+			if h.Parent[w] == -2 {
+				h.Parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	h.computeDepths()
+	for v := 0; v < n; v++ {
+		if v != g {
+			// C(v) is v's subtree under the rooting at g; its only neighbor
+			// is v's parent (§4.2).
+			h.Pivot[v] = []graph.Vertex{h.Parent[v]}
+		}
+	}
+	return h
+}

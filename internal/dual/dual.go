@@ -1,0 +1,147 @@
+// Package dual maintains the dual assignment of the paper's LP (§3.1, §6.1):
+// a value α(a) per demand and β(e) per edge. It implements the raise rules
+// of the two-phase framework for both the unit-height case (§3.2) and the
+// narrow-instance case (§6.1), ξ-satisfaction tests, and the weak-duality
+// upper bound obtained by scaling an approximately-feasible assignment.
+package dual
+
+import (
+	"math"
+
+	"treesched/internal/model"
+)
+
+// Tolerance is the relative floating-point slack used in satisfaction and
+// capacity comparisons throughout the library.
+const Tolerance = 1e-9
+
+// Assignment holds the dual variables. The zero value is not usable;
+// construct with New.
+type Assignment struct {
+	Alpha map[int]float64
+	Beta  map[model.EdgeKey]float64
+}
+
+// New returns an empty assignment (all dual variables implicitly zero).
+func New() *Assignment {
+	return &Assignment{
+		Alpha: make(map[int]float64),
+		Beta:  make(map[model.EdgeKey]float64),
+	}
+}
+
+// BetaSum returns Σ_{e on path} β(e).
+func (a *Assignment) BetaSum(path []model.EdgeKey) float64 {
+	s := 0.0
+	for _, e := range path {
+		s += a.Beta[e]
+	}
+	return s
+}
+
+// LHS returns the left-hand side of the dual constraint of a demand
+// instance: α(a_d) + coeff·Σ β(e). In the unit-height LP the coefficient is
+// 1; in the arbitrary-height LP it is the instance height h(d).
+func (a *Assignment) LHS(demand int, coeff float64, path []model.EdgeKey) float64 {
+	return a.Alpha[demand] + coeff*a.BetaSum(path)
+}
+
+// Satisfied reports whether the instance's dual constraint is ξ-satisfied:
+// LHS ≥ ξ·p(d), with relative tolerance.
+func (a *Assignment) Satisfied(demand int, coeff float64, path []model.EdgeKey, xi, profit float64) bool {
+	return a.LHS(demand, coeff, path) >= xi*profit-Tolerance*profit
+}
+
+// RaiseUnit performs the unit-height raise of §3.2 on the instance with the
+// given demand, path and critical edge set π: δ = s/(|π|+1), α += δ and
+// β(e) += δ for e ∈ π. It returns δ. The constraint becomes tight.
+func (a *Assignment) RaiseUnit(demand int, profit float64, path, critical []model.EdgeKey) float64 {
+	s := profit - a.LHS(demand, 1, path)
+	if s <= 0 {
+		return 0
+	}
+	delta := s / float64(len(critical)+1)
+	a.Alpha[demand] += delta
+	for _, e := range critical {
+		a.Beta[e] += delta
+	}
+	return delta
+}
+
+// RaiseNarrow performs the arbitrary-height raise of §6.1: with slackness
+// s = p - (α + h·Σβ), δ = s/(1 + 2h|π|²), α += δ and β(e) += 2|π|δ for
+// e ∈ π. It returns δ. The constraint becomes tight: the LHS gains
+// δ + h·|π|·2|π|δ = s.
+func (a *Assignment) RaiseNarrow(demand int, profit, height float64, path, critical []model.EdgeKey) float64 {
+	s := profit - a.LHS(demand, height, path)
+	if s <= 0 {
+		return 0
+	}
+	k := float64(len(critical))
+	delta := s / (1 + 2*height*k*k)
+	a.Alpha[demand] += delta
+	for _, e := range critical {
+		a.Beta[e] += 2 * k * delta
+	}
+	return delta
+}
+
+// Value returns the dual objective Σα + Σβ.
+func (a *Assignment) Value() float64 {
+	v := 0.0
+	for _, x := range a.Alpha {
+		v += x
+	}
+	for _, x := range a.Beta {
+		v += x
+	}
+	return v
+}
+
+// ConstraintView describes one dual constraint for Lambda/Bound computation.
+type ConstraintView struct {
+	Demand int
+	Coeff  float64 // 1 for the unit LP, h(d) for the height LP
+	Profit float64
+	Path   []model.EdgeKey
+}
+
+// Lambda returns the measured slackness parameter: the largest λ such that
+// every constraint is λ-satisfied, i.e. min over constraints of LHS/p,
+// capped at 1. Returns 0 for an empty constraint set.
+func (a *Assignment) Lambda(constraints []ConstraintView) float64 {
+	if len(constraints) == 0 {
+		return 0
+	}
+	lambda := 1.0
+	for _, c := range constraints {
+		r := a.LHS(c.Demand, c.Coeff, c.Path) / c.Profit
+		if r < lambda {
+			lambda = r
+		}
+	}
+	return lambda
+}
+
+// Bound returns the weak-duality upper bound on the optimum: scaling the
+// assignment by 1/λ yields a feasible dual, so Opt ≤ Value/λ (proof of
+// Lemma 3.1). Returns +Inf if λ ≤ 0.
+func (a *Assignment) Bound(constraints []ConstraintView) float64 {
+	lambda := a.Lambda(constraints)
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	return a.Value() / lambda
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := New()
+	for k, v := range a.Alpha {
+		c.Alpha[k] = v
+	}
+	for k, v := range a.Beta {
+		c.Beta[k] = v
+	}
+	return c
+}

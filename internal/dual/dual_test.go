@@ -1,0 +1,167 @@
+package dual
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/model"
+)
+
+func keyPath(tree int, edges ...int) []model.EdgeKey {
+	out := make([]model.EdgeKey, len(edges))
+	for i, e := range edges {
+		out[i] = model.MakeEdgeKey(tree, e)
+	}
+	return out
+}
+
+func TestRaiseUnitTightensConstraint(t *testing.T) {
+	a := New()
+	path := keyPath(0, 1, 2, 3, 4)
+	crit := keyPath(0, 1, 3)
+	delta := a.RaiseUnit(7, 10, path, crit)
+	if want := 10.0 / 3.0; math.Abs(delta-want) > 1e-12 {
+		t.Fatalf("delta = %v, want %v", delta, want)
+	}
+	if lhs := a.LHS(7, 1, path); math.Abs(lhs-10) > 1e-9 {
+		t.Fatalf("LHS after raise = %v, want 10 (tight)", lhs)
+	}
+	// α got δ, each critical edge got δ, non-critical edges got nothing.
+	if a.Alpha[7] != delta {
+		t.Errorf("alpha = %v, want %v", a.Alpha[7], delta)
+	}
+	if a.Beta[model.MakeEdgeKey(0, 2)] != 0 {
+		t.Errorf("non-critical edge was raised")
+	}
+}
+
+func TestRaiseUnitAlreadyTight(t *testing.T) {
+	a := New()
+	path := keyPath(0, 1)
+	a.RaiseUnit(0, 5, path, path)
+	if d := a.RaiseUnit(0, 5, path, path); d != 0 {
+		t.Errorf("second raise returned %v, want 0", d)
+	}
+}
+
+func TestRaiseNarrowTightensConstraint(t *testing.T) {
+	// Property: after RaiseNarrow the height-LP constraint is tight,
+	// for any h ∈ (0,1], any |π| ≥ 1 and any prior state.
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := New()
+		h := 0.05 + 0.95*r.Float64()
+		profit := 0.5 + 10*r.Float64()
+		n := 1 + r.Intn(8)
+		path := make([]model.EdgeKey, n)
+		for i := range path {
+			path[i] = model.MakeEdgeKey(0, i)
+		}
+		k := 1 + r.Intn(n)
+		crit := path[:k]
+		// Random prior state.
+		a.Alpha[3] = r.Float64() * profit / 4
+		for _, e := range path {
+			a.Beta[e] = r.Float64() / 10
+		}
+		if a.LHS(3, h, path) >= profit {
+			return true // already satisfied; raise is a no-op
+		}
+		delta := a.RaiseNarrow(3, profit, h, path, crit)
+		if delta <= 0 {
+			return false
+		}
+		return math.Abs(a.LHS(3, h, path)-profit) < 1e-9*profit
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueAccountsRaises(t *testing.T) {
+	// Each unit raise with |π| critical edges adds exactly (|π|+1)·δ to the
+	// dual objective (inequality (1) in Lemma 3.1 holds with equality when
+	// no edges are shared).
+	a := New()
+	d1 := a.RaiseUnit(0, 6, keyPath(0, 1, 2), keyPath(0, 1, 2))
+	d2 := a.RaiseUnit(1, 9, keyPath(0, 5, 6, 7), keyPath(0, 5))
+	want := 3*d1 + 2*d2
+	if v := a.Value(); math.Abs(v-want) > 1e-9 {
+		t.Errorf("Value = %v, want %v", v, want)
+	}
+}
+
+func TestSatisfiedThreshold(t *testing.T) {
+	a := New()
+	path := keyPath(0, 1)
+	a.Alpha[0] = 4
+	if !a.Satisfied(0, 1, path, 0.5, 8) {
+		t.Error("exactly ξ·p should satisfy")
+	}
+	if a.Satisfied(0, 1, path, 0.6, 8) {
+		t.Error("4 < 0.6·8 should not satisfy")
+	}
+	// Height coefficient scales the β contribution only.
+	a.Beta[path[0]] = 10
+	if !a.Satisfied(0, 0.3, path, 0.8, 8) { // 4 + 0.3·10 = 7 ≥ 6.4
+		t.Error("height-weighted LHS should satisfy")
+	}
+}
+
+func TestLambdaAndBound(t *testing.T) {
+	a := New()
+	p1 := keyPath(0, 1)
+	p2 := keyPath(0, 2)
+	a.Alpha[0] = 5 // constraint 0: LHS 5, p 10 -> ratio 0.5
+	a.Alpha[1] = 9 // constraint 1: LHS 9, p 9  -> ratio 1
+	cons := []ConstraintView{
+		{Demand: 0, Coeff: 1, Profit: 10, Path: p1},
+		{Demand: 1, Coeff: 1, Profit: 9, Path: p2},
+	}
+	if l := a.Lambda(cons); math.Abs(l-0.5) > 1e-12 {
+		t.Fatalf("Lambda = %v, want 0.5", l)
+	}
+	if b := a.Bound(cons); math.Abs(b-28) > 1e-9 { // (5+9)/0.5
+		t.Fatalf("Bound = %v, want 28", b)
+	}
+	if l := a.Lambda(nil); l != 0 {
+		t.Errorf("Lambda(nil) = %v, want 0", l)
+	}
+	if b := New().Bound(cons); !math.IsInf(b, 1) {
+		t.Errorf("Bound of empty assignment = %v, want +Inf", b)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New()
+	a.RaiseUnit(0, 5, keyPath(0, 1), keyPath(0, 1))
+	c := a.Clone()
+	c.RaiseUnit(1, 7, keyPath(0, 2), keyPath(0, 2))
+	if _, ok := a.Alpha[1]; ok {
+		t.Error("clone mutated the original")
+	}
+	if a.Value() == c.Value() {
+		t.Error("clone should have diverged")
+	}
+}
+
+func TestWeakDualityOnToyInstance(t *testing.T) {
+	// Two instances fighting over one edge, profits 3 and 5. Raise both via
+	// the framework order; the bound must dominate the true optimum (5).
+	a := New()
+	shared := keyPath(0, 9)
+	a.RaiseUnit(0, 3, shared, shared) // δ=1.5, α0=1.5, β=1.5
+	a.RaiseUnit(1, 5, shared, shared) // LHS=1.5, s=3.5, δ=1.75
+	cons := []ConstraintView{
+		{Demand: 0, Coeff: 1, Profit: 3, Path: shared},
+		{Demand: 1, Coeff: 1, Profit: 5, Path: shared},
+	}
+	if l := a.Lambda(cons); math.Abs(l-1) > 1e-9 {
+		t.Fatalf("both constraints tight, Lambda = %v, want 1", l)
+	}
+	if b := a.Bound(cons); b < 5 {
+		t.Errorf("Bound %v below optimum 5", b)
+	}
+}

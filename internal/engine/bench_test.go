@@ -1,0 +1,75 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/workload"
+)
+
+func benchItems(b *testing.B, m int) []engine.Item {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: m, Trees: 2, Demands: m, ProfitRatio: 16,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return items
+}
+
+func BenchmarkBuildConflicts(b *testing.B) {
+	items := benchItems(b, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.BuildConflicts(items)
+	}
+}
+
+func BenchmarkRunByMISKind(b *testing.B) {
+	items := benchItems(b, 256)
+	for _, tc := range []struct {
+		name string
+		kind engine.MISKind
+	}{{"luby", engine.LubyMIS}, {"greedy", engine.GreedyMIS}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(items, engine.Config{
+					Mode: engine.Unit, Epsilon: 0.1, Seed: int64(i), MIS: tc.kind,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRunArbitrary(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 128, Trees: 2, Demands: 128, ProfitRatio: 8,
+		Heights: workload.MixedHeights, HMin: 0.1,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunArbitrary(items, engine.Config{Epsilon: 0.15, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+// ArbitraryResult is the outcome of the §6 arbitrary-height algorithm: the
+// wide and narrow sub-runs plus the per-resource combination.
+type ArbitraryResult struct {
+	Selected []int   // original item ids, ascending
+	Profit   float64 // profit of the combined solution
+	Bound    float64 // Opt ≤ Bound (sum of the sub-run bounds)
+
+	Wide   *Result // unit-rule run over wide items (nil if none)
+	Narrow *Result // narrow-rule run over narrow items (nil if none)
+
+	CommRounds int
+}
+
+// RunArbitrary implements the overall §6 algorithm (Theorem 6.3 for trees,
+// Theorem 7.2 for lines): run the unit-height algorithm on the wide
+// instances and the narrow algorithm on the narrow instances, then, for
+// each resource, keep whichever sub-solution earns more profit there. Since
+// every demand is entirely wide or entirely narrow, the combination selects
+// at most one instance per demand, and per-resource selection preserves the
+// bandwidth constraints.
+func RunArbitrary(items []Item, cfg Config) (*ArbitraryResult, error) {
+	wide, narrow, wideIDs, narrowIDs := SplitWideNarrow(items)
+
+	out := &ArbitraryResult{}
+	var wideSel, narrowSel []int
+	if len(wide) > 0 {
+		wcfg := cfg
+		wcfg.Mode = Unit
+		wcfg.Xi = 0 // re-derive from the wide item set
+		res, err := Run(wide, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Wide = res
+		out.Bound += res.Bound
+		out.CommRounds += res.CommRounds
+		wideSel = res.Selected
+	}
+	if len(narrow) > 0 {
+		ncfg := cfg
+		ncfg.Mode = Narrow
+		ncfg.Xi = 0
+		res, err := Run(narrow, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Narrow = res
+		out.Bound += res.Bound
+		out.CommRounds += res.CommRounds
+		narrowSel = res.Selected
+	}
+	out.Selected, out.Profit = CombineSelections(wide, narrow, wideSel, narrowSel, wideIDs, narrowIDs)
+	return out, nil
+}
+
+// combinePerResource applies the §6 rule: on each resource keep whichever
+// sub-solution earns more profit there.
+func combinePerResource(wideByRes, narrowByRes map[int][]int, profitW, profitN map[int]float64) ([]int, float64) {
+	resources := make(map[int]bool)
+	for r := range wideByRes {
+		resources[r] = true
+	}
+	for r := range narrowByRes {
+		resources[r] = true
+	}
+	var selected []int
+	profit := 0.0
+	for r := range resources {
+		if profitW[r] >= profitN[r] {
+			selected = append(selected, wideByRes[r]...)
+			profit += profitW[r]
+		} else {
+			selected = append(selected, narrowByRes[r]...)
+			profit += profitN[r]
+		}
+	}
+	sortInts(selected)
+	return selected, profit
+}
+
+// CombineSelections applies the §6 per-resource combination to selections
+// produced by two sub-runs (wide items under the unit rule, narrow items
+// under the narrow rule). wideSel/narrowSel index into wide/narrow; the
+// wideIDs/narrowIDs maps translate back to original item ids, as returned by
+// SplitWideNarrow. Used by the distributed facade, which runs the two
+// sub-protocols itself.
+func CombineSelections(wide, narrow []Item, wideSel, narrowSel []int, wideIDs, narrowIDs []int) (selected []int, profit float64) {
+	wideByRes := make(map[int][]int)
+	narrowByRes := make(map[int][]int)
+	profitW := make(map[int]float64)
+	profitN := make(map[int]float64)
+	for _, id := range wideSel {
+		r := wide[id].Resource
+		wideByRes[r] = append(wideByRes[r], wideIDs[id])
+		profitW[r] += wide[id].Profit
+	}
+	for _, id := range narrowSel {
+		r := narrow[id].Resource
+		narrowByRes[r] = append(narrowByRes[r], narrowIDs[id])
+		profitN[r] += narrow[id].Profit
+	}
+	return combinePerResource(wideByRes, narrowByRes, profitW, profitN)
+}

@@ -1,0 +1,564 @@
+// Package engine implements the paper's two-phase primal–dual framework
+// (§3.2) and the epoch/stage/step schedule of the distributed algorithm
+// (Figure 7), for both the unit-height raise rule (§5) and the
+// narrow-instance rule (§6.1).
+//
+// The engine is written over abstract Items (demand instance id, demand id,
+// owning processor, resource, edge set, critical set π, group index, profit,
+// height), so tree networks, line networks, and windows all reduce to the
+// same code: the decomposition packages produce Items, the engine schedules
+// them. It runs in-process but follows the distributed schedule exactly —
+// package dist executes the same schedule over a message-passing simulator
+// and produces bit-identical results for identical seeds.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesched/internal/dual"
+	"treesched/internal/mis"
+	"treesched/internal/model"
+)
+
+// Mode selects the raise rule.
+type Mode int
+
+const (
+	// Unit is the unit-height rule of §3.2/§5: δ = s/(|π|+1), every raised
+	// variable gains δ. Also used for wide instances (§6).
+	Unit Mode = iota
+	// Narrow is the §6.1 rule for heights ≤ 1/2: δ = s/(1+2h|π|²),
+	// β-variables gain 2|π|δ.
+	Narrow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unit:
+		return "unit"
+	case Narrow:
+		return "narrow"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MISKind selects the maximal-independent-set subroutine.
+type MISKind int
+
+const (
+	// LubyMIS is the randomized O(log N)-round algorithm the paper cites.
+	LubyMIS MISKind = iota
+	// GreedyMIS is the deterministic lexicographically-first MIS; it is not
+	// a polylog-round distributed algorithm and exists for ablations.
+	GreedyMIS
+)
+
+// Item is one demand instance as seen by the framework.
+type Item struct {
+	ID       int // dense index into the item slice
+	Demand   int // mutual-exclusion group: at most one instance per demand
+	Owner    int // owning processor (= demand id in the paper's model)
+	Resource int // tree-network / line resource id
+	Group    int // layered-decomposition group, 1-based; group 1 raises first
+	Profit   float64
+	Height   float64
+	Edges    []model.EdgeKey // full path
+	Critical []model.EdgeKey // π(d) ⊆ Edges
+}
+
+// Config controls a run. Zero values select paper defaults.
+type Config struct {
+	Mode    Mode
+	Epsilon float64 // ε > 0; slackness target λ = 1-ε
+	// Xi overrides the stage decay ξ. 0 selects the paper's value:
+	// 2∆′/(2∆′+1) with ∆′ = ∆+1 for Unit mode (14/15 for trees with ∆ = 6,
+	// 8/9 for lines with ∆ = 3), and C/(C+hmin) with C = 1+∆² for Narrow.
+	Xi float64
+	// HMin is the minimum height (narrow mode); 0 means derive from items.
+	HMin float64
+	Seed int64
+	MIS  MISKind
+	// SingleStage reproduces the Panconesi–Sozio-style schedule for
+	// ablation A2: one stage per epoch with a fixed satisfaction threshold
+	// of 1/(5+ε) instead of the (1-ξ^j) ladder, giving λ = 1/(5+ε).
+	SingleStage bool
+	// RecordTrace captures the raise order for interference-property
+	// verification. Costs memory; intended for tests and experiments.
+	RecordTrace bool
+}
+
+// RaiseEvent records one raise for trace verification.
+type RaiseEvent struct {
+	Step  int // global step counter at which the raise happened
+	Item  int
+	Delta float64
+}
+
+// Trace is the phase-1 raise history.
+type Trace struct {
+	Events []RaiseEvent
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Selected []int   // item IDs chosen by the second phase, ascending
+	Profit   float64 // Σ profit of selected items
+	Dual     *dual.Assignment
+	Lambda   float64 // measured slackness min LHS/p over all items
+	Bound    float64 // weak-duality upper bound on Opt: Value/λ
+
+	Delta         int // max |π(d)| over raised items
+	Epochs        int // number of epochs executed (= number of groups)
+	Stages        int // stages per epoch
+	Steps         int // total steps (framework iterations) with non-empty U
+	MaxStageSteps int // most steps taken by any single (epoch, stage) — Lemma 5.1's quantity
+	Raised        int // items raised in phase 1
+	MISIters      int // total Luby iterations across all steps
+	CommRounds    int // estimated communication rounds: 2·MISIters + Steps (phase 1) + Steps (phase 2)
+
+	Trace *Trace // nil unless Config.RecordTrace
+}
+
+// state is the mutable run state shared by the phases.
+type state struct {
+	items []Item
+	cfg   Config
+	plan  *Plan
+	adj   [][]int // conflict adjacency over items
+	dual  *dual.Assignment
+	coeff []float64 // LHS coefficient per item: 1 (unit) or h (narrow)
+	owner []int
+	rngs  map[int]*rand.Rand
+	stack []step
+	trace *Trace
+	steps int
+}
+
+// step is one pushed independent set with its schedule stamp.
+type step struct {
+	epoch, stage, iter int
+	items              []int // raised item ids, ascending
+}
+
+// Plan is the globally-known schedule of the distributed algorithm: every
+// processor derives it locally from quantities the paper assumes are common
+// knowledge (ε, ∆, hmin, pmax/pmin, and the decomposition depths). The
+// in-process engine and the simnet protocol execute the same Plan, which is
+// what makes their outputs bit-identical.
+type Plan struct {
+	Xi         float64   // stage decay ξ
+	Stages     int       // b = number of stages per epoch
+	Thresholds []float64 // stage j targets (1-ξ^j)-satisfaction; len = Stages
+	StepCap    int       // fixed steps per stage (Lemma 5.1 bound + slack)
+	MaxGroup   int       // ℓmax = number of epochs
+	Delta      int       // max |π(d)|
+	PMin, PMax float64
+}
+
+// PlanFor validates the items and configuration and computes the schedule.
+// cfg's zero-valued fields are resolved to paper defaults in place.
+func PlanFor(items []Item, cfg *Config) (*Plan, error) {
+	if err := validate(items, cfg); err != nil {
+		return nil, err
+	}
+	p := &Plan{Xi: cfg.Xi, Delta: MaxCritical(items)}
+	for i := range items {
+		if items[i].Group > p.MaxGroup {
+			p.MaxGroup = items[i].Group
+		}
+	}
+	p.PMin, p.PMax = profitRange(items)
+	p.StepCap = stepCap(p.PMin, p.PMax)
+	if cfg.SingleStage {
+		p.Stages = 1
+		p.Thresholds = []float64{1 / (5 + cfg.Epsilon)}
+		return p, nil
+	}
+	b := 1
+	for x := p.Xi; x > cfg.Epsilon; x *= p.Xi {
+		b++
+	}
+	p.Stages = b
+	p.Thresholds = make([]float64, b)
+	x := 1.0
+	for j := 0; j < b; j++ {
+		x *= p.Xi
+		p.Thresholds[j] = 1 - x
+	}
+	return p, nil
+}
+
+// Run executes both phases and returns the result.
+func Run(items []Item, cfg Config) (*Result, error) {
+	plan, err := PlanFor(items, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{
+		items: items,
+		cfg:   cfg,
+		plan:  plan,
+		adj:   BuildConflicts(items),
+		dual:  dual.New(),
+		rngs:  make(map[int]*rand.Rand),
+	}
+	st.coeff = make([]float64, len(items))
+	st.owner = make([]int, len(items))
+	for i := range items {
+		st.coeff[i] = 1
+		if cfg.Mode == Narrow {
+			st.coeff[i] = items[i].Height
+		}
+		st.owner[i] = items[i].Owner
+	}
+	if cfg.RecordTrace {
+		st.trace = &Trace{}
+	}
+
+	res := &Result{Dual: st.dual, Trace: st.trace}
+	res.Delta = MaxCritical(items)
+	if err := st.firstPhase(res); err != nil {
+		return nil, err
+	}
+	st.secondPhase(res)
+
+	cons := make([]dual.ConstraintView, len(items))
+	for i := range items {
+		cons[i] = dual.ConstraintView{
+			Demand: items[i].Demand,
+			Coeff:  st.coeff[i],
+			Profit: items[i].Profit,
+			Path:   items[i].Edges,
+		}
+	}
+	if len(cons) > 0 {
+		res.Lambda = st.dual.Lambda(cons)
+		res.Bound = st.dual.Bound(cons)
+	}
+	res.CommRounds = 2*res.MISIters + 2*res.Steps
+	return res, nil
+}
+
+func validate(items []Item, cfg *Config) error {
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return fmt.Errorf("engine: epsilon must be in (0,1), got %v", cfg.Epsilon)
+	}
+	for i := range items {
+		it := &items[i]
+		if it.ID != i {
+			return fmt.Errorf("engine: item %d has ID %d", i, it.ID)
+		}
+		if it.Group < 1 {
+			return fmt.Errorf("engine: item %d has group %d < 1", i, it.Group)
+		}
+		if len(it.Edges) == 0 || len(it.Critical) == 0 {
+			return fmt.Errorf("engine: item %d has empty path or critical set", i)
+		}
+		if !(it.Profit > 0) {
+			return fmt.Errorf("engine: item %d has profit %v", i, it.Profit)
+		}
+		if !(it.Height > 0) || it.Height > 1 {
+			return fmt.Errorf("engine: item %d has height %v", i, it.Height)
+		}
+		if cfg.Mode == Narrow && it.Height > 0.5+dual.Tolerance {
+			return fmt.Errorf("engine: item %d has height %v > 1/2 in narrow mode", i, it.Height)
+		}
+	}
+	if cfg.Xi == 0 {
+		cfg.Xi = DefaultXi(cfg.Mode, MaxCritical(items), hmin(items, cfg.HMin))
+	}
+	if cfg.Xi <= 0 || cfg.Xi >= 1 {
+		return fmt.Errorf("engine: xi must be in (0,1), got %v", cfg.Xi)
+	}
+	return nil
+}
+
+func hmin(items []Item, override float64) float64 {
+	if override > 0 {
+		return override
+	}
+	h := 1.0
+	for i := range items {
+		if items[i].Height < h {
+			h = items[i].Height
+		}
+	}
+	return h
+}
+
+// DefaultXi returns the paper's stage-decay parameter: for the unit rule,
+// ξ = 2∆′/(2∆′+1) with ∆′ = ∆+1 (§5: 14/15 for ∆ = 6; §7: 8/9 for ∆ = 3);
+// for the narrow rule, ξ = C/(C+hmin) with C = 1+∆², which makes every
+// kill double the victim's profit (the Claim 5.2 analogue of §6.1).
+func DefaultXi(mode Mode, delta int, hm float64) float64 {
+	if delta < 1 {
+		delta = 1
+	}
+	if mode == Narrow {
+		c := float64(1 + delta*delta)
+		return c / (c + hm)
+	}
+	dp := float64(delta + 1)
+	return 2 * dp / (2*dp + 1)
+}
+
+// MaxCritical returns ∆ = max |π(d)| over the items (0 if none).
+func MaxCritical(items []Item) int {
+	d := 0
+	for i := range items {
+		if len(items[i].Critical) > d {
+			d = len(items[i].Critical)
+		}
+	}
+	return d
+}
+
+// BuildConflicts constructs the conflict adjacency of §2 over the items:
+// two items conflict iff they share a demand or they share an edge (which
+// implies the same resource, since edge keys embed the resource id).
+func BuildConflicts(items []Item) [][]int {
+	adj := make([][]int, len(items))
+	byDemand := make(map[int][]int)
+	byEdge := make(map[model.EdgeKey][]int)
+	for i := range items {
+		byDemand[items[i].Demand] = append(byDemand[items[i].Demand], i)
+		for _, e := range items[i].Edges {
+			byEdge[e] = append(byEdge[e], i)
+		}
+	}
+	seen := make([]int, len(items))
+	for i := range seen {
+		seen[i] = -1
+	}
+	add := func(v int, group []int) {
+		for _, w := range group {
+			if w != v && seen[w] != v {
+				seen[w] = v
+				adj[v] = append(adj[v], w)
+			}
+		}
+	}
+	for v := range items {
+		add(v, byDemand[items[v].Demand])
+		for _, e := range items[v].Edges {
+			add(v, byEdge[e])
+		}
+	}
+	for v := range adj {
+		sortInts(adj[v])
+	}
+	return adj
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// firstPhase runs the epoch/stage/step schedule of Figure 7.
+func (st *state) firstPhase(res *Result) error {
+	groups := make(map[int][]int)
+	for i := range st.items {
+		g := st.items[i].Group
+		groups[g] = append(groups[g], i)
+	}
+	res.Epochs = st.plan.MaxGroup
+	res.Stages = st.plan.Stages
+
+	for k := 1; k <= st.plan.MaxGroup; k++ {
+		members := groups[k]
+		if len(members) == 0 {
+			continue
+		}
+		for j := 0; j < st.plan.Stages; j++ {
+			thresh := st.plan.Thresholds[j]
+			for iter := 0; ; iter++ {
+				if iter >= st.plan.StepCap {
+					return fmt.Errorf("engine: epoch %d stage %d exceeded %d steps (pmax/pmin=%v); Lemma 5.1 cap violated",
+						k, j+1, st.plan.StepCap, st.plan.PMax/st.plan.PMin)
+				}
+				u := st.unsatisfied(members, thresh)
+				if len(u) == 0 {
+					if iter > res.MaxStageSteps {
+						res.MaxStageSteps = iter
+					}
+					break
+				}
+				st.steps++
+				res.Steps++
+				chosen, iters := st.independentSet(u)
+				res.MISIters += iters
+				raised := make([]int, 0, len(chosen))
+				for _, id := range chosen {
+					st.raise(id)
+					raised = append(raised, id)
+					res.Raised++
+				}
+				st.stack = append(st.stack, step{epoch: k, stage: j + 1, iter: iter, items: raised})
+			}
+		}
+	}
+	return nil
+}
+
+func (st *state) unsatisfied(members []int, thresh float64) []int {
+	var u []int
+	for _, id := range members {
+		it := &st.items[id]
+		if !st.dual.Satisfied(it.Demand, st.coeff[id], it.Edges, thresh, it.Profit) {
+			u = append(u, id)
+		}
+	}
+	return u
+}
+
+// independentSet computes a maximal independent set within u (item ids) and
+// returns the selected ids ascending plus the number of Luby iterations.
+func (st *state) independentSet(u []int) ([]int, int) {
+	sub := st.subgraph(u)
+	if st.cfg.MIS == GreedyMIS {
+		return pick(u, mis.Greedy(len(u), sub)), 1
+	}
+	owners := make([]int, len(u))
+	for i, id := range u {
+		owners[i] = st.owner[id]
+	}
+	in, iters := mis.Luby(owners, sub, st.draw)
+	return pick(u, in), iters
+}
+
+// subgraph restricts the conflict adjacency to u, relabeling to 0..len(u)-1.
+func (st *state) subgraph(u []int) [][]int {
+	index := make(map[int]int, len(u))
+	for i, id := range u {
+		index[id] = i
+	}
+	sub := make([][]int, len(u))
+	for i, id := range u {
+		for _, w := range st.adj[id] {
+			if j, ok := index[w]; ok {
+				sub[i] = append(sub[i], j)
+			}
+		}
+	}
+	return sub
+}
+
+func pick(u []int, in []bool) []int {
+	var out []int
+	for i, id := range u {
+		if in[i] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// draw returns the next priority from owner's PRNG stream, creating the
+// stream deterministically from the run seed on first use. The distributed
+// protocol seeds processor PRNGs identically, so draws coincide.
+func (st *state) draw(owner int) float64 {
+	r, ok := st.rngs[owner]
+	if !ok {
+		r = rand.New(rand.NewSource(OwnerSeed(st.cfg.Seed, owner)))
+		st.rngs[owner] = r
+	}
+	return r.Float64()
+}
+
+// OwnerSeed derives the PRNG seed of a processor from the run seed. Shared
+// with package dist so both executions draw identical priorities.
+func OwnerSeed(seed int64, owner int) int64 {
+	// SplitMix64-style mix; cheap, deterministic, and well-dispersed.
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(owner+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}
+
+func (st *state) raise(id int) {
+	it := &st.items[id]
+	var delta float64
+	if st.cfg.Mode == Narrow {
+		delta = st.dual.RaiseNarrow(it.Demand, it.Profit, it.Height, it.Edges, it.Critical)
+	} else {
+		delta = st.dual.RaiseUnit(it.Demand, it.Profit, it.Edges, it.Critical)
+	}
+	if st.trace != nil {
+		st.trace.Events = append(st.trace.Events, RaiseEvent{Step: st.steps, Item: id, Delta: delta})
+	}
+}
+
+// secondPhase pops the stack and greedily builds the feasible solution:
+// an item is added if its demand is unused and every path edge retains
+// capacity (edge-disjointness in unit mode, height sums ≤ 1 in narrow mode).
+func (st *state) secondPhase(res *Result) {
+	usedDemand := make(map[int]bool)
+	usage := make(map[model.EdgeKey]float64)
+	var selected []int
+	for s := len(st.stack) - 1; s >= 0; s-- {
+		for _, id := range st.stack[s].items {
+			it := &st.items[id]
+			if usedDemand[it.Demand] {
+				continue
+			}
+			need := it.Height
+			if st.cfg.Mode == Unit {
+				need = 1 // unit rule schedules edge-disjointly even for wide h<1
+			}
+			ok := true
+			for _, e := range it.Edges {
+				if usage[e]+need > 1+dual.Tolerance {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			usedDemand[it.Demand] = true
+			for _, e := range it.Edges {
+				usage[e] += need
+			}
+			selected = append(selected, id)
+			res.Profit += it.Profit
+		}
+	}
+	sortInts(selected)
+	res.Selected = selected
+}
+
+func profitRange(items []Item) (pmin, pmax float64) {
+	pmin, pmax = 1, 1
+	for i := range items {
+		p := items[i].Profit
+		if i == 0 {
+			pmin, pmax = p, p
+			continue
+		}
+		if p < pmin {
+			pmin = p
+		}
+		if p > pmax {
+			pmax = p
+		}
+	}
+	return pmin, pmax
+}
+
+// stepCap bounds the steps per stage: Lemma 5.1 proves at most
+// 1 + log₂(pmax/pmin) steps; we allow generous slack for floating point and
+// treat exceeding the cap as an internal error.
+func stepCap(pmin, pmax float64) int {
+	if pmin <= 0 {
+		return 64
+	}
+	return 8 + 2*int(math.Ceil(math.Log2(pmax/pmin+1)))
+}

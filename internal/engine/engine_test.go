@@ -1,0 +1,415 @@
+package engine_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/model"
+	"treesched/internal/seq"
+	"treesched/internal/verify"
+	"treesched/internal/workload"
+)
+
+func treeItems(t *testing.T, cfg workload.TreeConfig, seed int64) []engine.Item {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+func lineItems(t *testing.T, cfg workload.LineConfig, seed int64) []engine.Item {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in, err := workload.RandomLineInstance(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := engine.BuildLineItems(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+func TestUnitTreeInvariants(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 24, Trees: 2, Demands: 14, ProfitRatio: 16,
+		}, seed)
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed, RecordTrace: true}
+		res, err := engine.Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Feasible(items, res.Selected, engine.Unit); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Interference(items, res.Trace); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.StackCoverage(items, res.Trace, res.Selected); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Lambda < 1-cfg.Epsilon-1e-9 {
+			t.Fatalf("seed %d: lambda %v < 1-ε", seed, res.Lambda)
+		}
+		if res.Delta > 6 {
+			t.Fatalf("seed %d: ∆ = %d > 6 (Lemma 4.3)", seed, res.Delta)
+		}
+		// Lemma 3.1 accounting: Bound = val/λ ≤ (∆+1)·p(S)/λ.
+		if limit := float64(res.Delta+1) / res.Lambda * res.Profit; res.Bound > limit+1e-6 {
+			t.Fatalf("seed %d: bound %v exceeds (∆+1)p(S)/λ = %v", seed, res.Bound, limit)
+		}
+	}
+}
+
+func TestUnitTreeApproximationAgainstOptimum(t *testing.T) {
+	// Theorem 5.3: p(S) ≥ p(Opt)/(7+ε). Verified against brute force on
+	// small instances, and Opt ≤ Bound (weak duality).
+	worst := 1.0
+	for seed := int64(0); seed < 25; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 12, Trees: 2, Demands: 9, ProfitRatio: 8,
+		}, 100+seed)
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed}
+		res, err := engine.Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.Brute(items, true)
+		if opt > res.Bound+1e-6 {
+			t.Fatalf("seed %d: optimum %v exceeds dual bound %v", seed, opt, res.Bound)
+		}
+		guarantee := 7.0 / (1 - cfg.Epsilon)
+		if res.Profit*guarantee < opt-1e-6 {
+			t.Fatalf("seed %d: ratio %v exceeds (7+ε) guarantee %v", seed, opt/res.Profit, guarantee)
+		}
+		if res.Profit > 0 {
+			if r := opt / res.Profit; r > worst {
+				worst = r
+			}
+		}
+	}
+	t.Logf("worst measured ratio over 25 instances: %.3f (bound 7.78)", worst)
+}
+
+func TestNarrowTreeInvariants(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 16, Trees: 2, Demands: 10, ProfitRatio: 4,
+			Heights: workload.NarrowHeights, HMin: 0.1,
+		}, seed)
+		cfg := engine.Config{Mode: engine.Narrow, Epsilon: 0.15, Seed: seed, RecordTrace: true}
+		res, err := engine.Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Feasible(items, res.Selected, engine.Narrow); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Interference(items, res.Trace); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Lambda < 1-cfg.Epsilon-1e-9 {
+			t.Fatalf("seed %d: lambda %v < 1-ε", seed, res.Lambda)
+		}
+		// Lemma 6.1 accounting: Bound ≤ (2∆²+1)·p(S)/λ.
+		limit := float64(2*res.Delta*res.Delta+1) / res.Lambda * res.Profit
+		if res.Bound > limit+1e-6 {
+			t.Fatalf("seed %d: bound %v exceeds (2∆²+1)p(S)/λ = %v", seed, res.Bound, limit)
+		}
+	}
+}
+
+func TestNarrowTreeAgainstOptimum(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 10, Trees: 1, Demands: 8, ProfitRatio: 4,
+			Heights: workload.NarrowHeights, HMin: 0.15,
+		}, 300+seed)
+		cfg := engine.Config{Mode: engine.Narrow, Epsilon: 0.15, Seed: seed}
+		res, err := engine.Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.Brute(items, false)
+		if opt > res.Bound+1e-6 {
+			t.Fatalf("seed %d: optimum %v exceeds dual bound %v", seed, opt, res.Bound)
+		}
+		guarantee := float64(2*res.Delta*res.Delta+1) / (1 - cfg.Epsilon)
+		if res.Profit*guarantee < opt-1e-6 {
+			t.Fatalf("seed %d: ratio %v exceeds guarantee %v", seed, opt/res.Profit, guarantee)
+		}
+	}
+}
+
+func TestLineUnitWithWindows(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		items := lineItems(t, workload.LineConfig{
+			Slots: 30, Resources: 2, Demands: 10, ProfitRatio: 8,
+			ProcMin: 2, ProcMax: 8, WindowSlack: 4,
+		}, seed)
+		if d := engine.MaxCritical(items); d > 3 {
+			t.Fatalf("seed %d: line ∆ = %d > 3", seed, d)
+		}
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed, RecordTrace: true}
+		res, err := engine.Run(items, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Feasible(items, res.Selected, engine.Unit); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Interference(items, res.Trace); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Lambda < 1-cfg.Epsilon-1e-9 {
+			t.Fatalf("seed %d: lambda %v", seed, res.Lambda)
+		}
+		// Theorem 7.1 guarantee vs brute force (items can exceed the brute
+		// limit with windows, so check only when small enough).
+		if len(items) <= seq.BruteForceLimit {
+			opt, _ := seq.Brute(items, true)
+			if res.Profit*4/(1-cfg.Epsilon) < opt-1e-6 {
+				t.Fatalf("seed %d: ratio %v exceeds 4+ε", seed, opt/res.Profit)
+			}
+		}
+	}
+}
+
+func TestArbitraryHeightCombined(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 12, Trees: 2, Demands: 9, ProfitRatio: 4,
+			Heights: workload.MixedHeights, HMin: 0.1,
+		}, 500+seed)
+		res, err := engine.RunArbitrary(items, engine.Config{Epsilon: 0.15, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.FeasibleHeights(items, res.Selected); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, _ := seq.Brute(items, false)
+		if opt > res.Bound+1e-6 {
+			t.Fatalf("seed %d: optimum %v exceeds combined bound %v", seed, opt, res.Bound)
+		}
+		// Theorem 6.3: (80+ε) with ∆=6; with ε=0.15 the formal guarantee is
+		// (7+73)/(1-ε) ≈ 94.1.
+		if res.Profit > 0 {
+			if r := opt / res.Profit; r > 80/(1-0.15)+1 {
+				t.Fatalf("seed %d: combined ratio %v exceeds theorem bound", seed, r)
+			}
+		} else if opt > 0 {
+			t.Fatalf("seed %d: empty solution but optimum %v > 0", seed, opt)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	items := treeItems(t, workload.TreeConfig{
+		Vertices: 20, Trees: 3, Demands: 15, ProfitRatio: 10,
+	}, 7)
+	cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: 99}
+	a, err := engine.Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Selected, b.Selected) || a.Profit != b.Profit || a.Steps != b.Steps {
+		t.Fatalf("identical configs diverged: %v vs %v", a.Selected, b.Selected)
+	}
+	c, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different seed is allowed to differ (and almost surely does in the
+	// MIS draws); we only require it to still be feasible.
+	if err := verify.Feasible(items, c.Selected, engine.Unit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMISMode(t *testing.T) {
+	items := treeItems(t, workload.TreeConfig{
+		Vertices: 15, Trees: 2, Demands: 10, ProfitRatio: 4,
+	}, 11)
+	res, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, MIS: engine.GreedyMIS, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Feasible(items, res.Selected, engine.Unit); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Interference(items, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if res.MISIters != res.Steps {
+		t.Errorf("greedy MIS should cost one iteration per step: %d vs %d", res.MISIters, res.Steps)
+	}
+}
+
+func TestSingleStageAblation(t *testing.T) {
+	// The PS-style single-stage schedule must still produce feasible
+	// solutions satisfying the interference property, with λ ≈ 1/(5+ε).
+	items := treeItems(t, workload.TreeConfig{
+		Vertices: 15, Trees: 2, Demands: 12, ProfitRatio: 8,
+	}, 13)
+	res, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, SingleStage: true, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Feasible(items, res.Selected, engine.Unit); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Interference(items, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (5 + 0.1)
+	if res.Lambda < want-1e-9 {
+		t.Fatalf("single-stage lambda %v below 1/(5+ε) = %v", res.Lambda, want)
+	}
+	if res.Stages != 1 {
+		t.Fatalf("single-stage run reported %d stages", res.Stages)
+	}
+}
+
+func TestStepCountLemma51(t *testing.T) {
+	// Lemma 5.1: steps per stage ≤ 1 + log₂(pmax/pmin). Check the aggregate:
+	// Steps ≤ Epochs·Stages·(1+log₂(pmax/pmin)) and that runs with larger
+	// profit spread do not blow past the cap (Run errors if they do).
+	for _, ratio := range []float64{1, 4, 64, 1024} {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 20, Trees: 2, Demands: 20, ProfitRatio: ratio,
+		}, 17)
+		res, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: 1})
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		perStage := 1 + math.Log2(ratio) + 1 // +1 slack for the empty-check step
+		if float64(res.Steps) > float64(res.Epochs*res.Stages)*perStage {
+			t.Errorf("ratio %v: %d steps exceeds %d·%d·%.1f", ratio, res.Steps, res.Epochs, res.Stages, perStage)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := treeItems(t, workload.TreeConfig{Vertices: 8, Trees: 1, Demands: 3}, 19)
+	tests := []struct {
+		name  string
+		items []engine.Item
+		cfg   engine.Config
+	}{
+		{"epsilon zero", good, engine.Config{Epsilon: 0}},
+		{"epsilon one", good, engine.Config{Epsilon: 1}},
+		{"bad xi", good, engine.Config{Epsilon: 0.1, Xi: 1.5}},
+		{"bad id", func() []engine.Item {
+			bad := append([]engine.Item(nil), good...)
+			bad[0].ID = 5
+			return bad
+		}(), engine.Config{Epsilon: 0.1}},
+		{"bad group", func() []engine.Item {
+			bad := append([]engine.Item(nil), good...)
+			bad[1].Group = 0
+			return bad
+		}(), engine.Config{Epsilon: 0.1}},
+		{"empty critical", func() []engine.Item {
+			bad := append([]engine.Item(nil), good...)
+			bad[1].Critical = nil
+			return bad
+		}(), engine.Config{Epsilon: 0.1}},
+		{"narrow with wide item", good, engine.Config{Epsilon: 0.1, Mode: engine.Narrow}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := engine.Run(tc.items, tc.cfg); err == nil {
+				t.Fatal("Run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	res, err := engine.Run(nil, engine.Config{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 0 || res.Profit != 0 {
+		t.Fatalf("empty run produced %+v", res)
+	}
+}
+
+func TestBuildConflictsMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 14, Trees: 2, Demands: 10, ProfitRatio: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := engine.BuildConflicts(items)
+	dis := in.Expand()
+	for a := range dis {
+		want := map[int]bool{}
+		for b := range dis {
+			if model.Conflicting(&dis[a], &dis[b]) {
+				want[b] = true
+			}
+		}
+		got := map[int]bool{}
+		for _, w := range adj[a] {
+			got[w] = true
+		}
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("conflicts of %d = %v, want %v", a, adj[a], want)
+		}
+	}
+}
+
+func TestOwnerSeedDispersion(t *testing.T) {
+	seen := map[int64]bool{}
+	for owner := 0; owner < 1000; owner++ {
+		s := engine.OwnerSeed(42, owner)
+		if s < 0 {
+			t.Fatalf("negative seed %d for owner %d", s, owner)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed for owner %d", owner)
+		}
+		seen[s] = true
+	}
+	if engine.OwnerSeed(1, 5) == engine.OwnerSeed(2, 5) {
+		t.Error("different run seeds should give different owner seeds")
+	}
+}
+
+func TestDefaultXiValues(t *testing.T) {
+	// §5: trees ∆=6 → 14/15. §7: lines ∆=3 → 8/9.
+	if xi := engine.DefaultXi(engine.Unit, 6, 1); math.Abs(xi-14.0/15) > 1e-12 {
+		t.Errorf("tree xi = %v, want 14/15", xi)
+	}
+	if xi := engine.DefaultXi(engine.Unit, 3, 1); math.Abs(xi-8.0/9) > 1e-12 {
+		t.Errorf("line xi = %v, want 8/9", xi)
+	}
+	// Narrow: C/(C+hmin), C = 1+∆².
+	if xi := engine.DefaultXi(engine.Narrow, 6, 0.25); math.Abs(xi-37/37.25) > 1e-12 {
+		t.Errorf("narrow xi = %v, want 37/37.25", xi)
+	}
+}

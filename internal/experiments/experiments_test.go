@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes the full suite in quick mode, checking that
+// every experiment produces non-empty tables and that no bound-check column
+// reports a violation.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := Config{Seed: 99, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Fatalf("table %q row width %d != %d columns", tbl.Title, len(row), len(tbl.Columns))
+					}
+				}
+				// Any column literally named "ok" (bound verification) must
+				// hold on every row.
+				for ci, col := range tbl.Columns {
+					if col != "ok" {
+						continue
+					}
+					for _, row := range tbl.Rows {
+						if row[ci] != "yes" {
+							t.Errorf("table %q: bound violated in row %v", tbl.Title, row)
+						}
+					}
+				}
+				// violations columns must be zero.
+				for ci, col := range tbl.Columns {
+					if !strings.Contains(col, "violation") {
+						continue
+					}
+					for _, row := range tbl.Rows {
+						if row[ci] != "0" {
+							t.Errorf("table %q: %s = %s", tbl.Title, col, row[ci])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("E6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("Z9"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ids := []string{}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"}
+	if len(ids) != len(want) {
+		t.Fatalf("got %d experiments %v, want %d", len(ids), ids, len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order %v, want %v", ids, want)
+		}
+	}
+}
+
+// TestA3EquivalenceHolds asserts the equivalence column specifically: this is
+// the load-bearing guarantee that the simulator runs the same algorithm.
+func TestA3EquivalenceHolds(t *testing.T) {
+	e, err := Lookup("A3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Config{Seed: 5, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "yes" {
+			t.Fatalf("equivalence failed: %v", row)
+		}
+	}
+}

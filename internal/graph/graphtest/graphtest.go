@@ -1,0 +1,45 @@
+// Package graphtest provides shared test fixtures: the paper's worked
+// example tree (Figure 6) and random tree generators used by property tests
+// across packages.
+package graphtest
+
+import (
+	"math/rand"
+
+	"treesched/internal/graph"
+)
+
+// Fig6Edges returns the 0-indexed edges of the paper's Figure 6 example tree
+// (15 vertices; paper vertex k is vertex k-1 here). The topology is
+// reconstructed from the worked examples in §4.1, §4.4 and Appendix A of the
+// paper; every fact those sections state about the example holds on it.
+func Fig6Edges() []graph.Edge {
+	return []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 4, V: 7}, {U: 4, V: 8},
+		{U: 7, V: 12}, {U: 8, V: 11}, {U: 0, V: 5}, {U: 5, V: 9}, {U: 5, V: 10},
+		{U: 0, V: 13}, {U: 13, V: 2}, {U: 2, V: 6}, {U: 13, V: 14},
+	}
+}
+
+// Fig6Tree builds the Figure 6 tree.
+func Fig6Tree() *graph.Tree {
+	return graph.MustTree(15, Fig6Edges())
+}
+
+// RandomTreeEdges returns the edges of a random tree on n vertices: each
+// vertex attaches to a uniformly random earlier vertex and labels are then
+// permuted so vertex 0 is not structurally special.
+func RandomTreeEdges(n int, rng *rand.Rand) []graph.Edge {
+	perm := rng.Perm(n)
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		edges = append(edges, graph.Edge{U: perm[u], V: perm[v]})
+	}
+	return edges
+}
+
+// RandomTree builds a random tree on n vertices.
+func RandomTree(n int, rng *rand.Rand) *graph.Tree {
+	return graph.MustTree(n, RandomTreeEdges(n, rng))
+}

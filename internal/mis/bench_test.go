@@ -1,0 +1,37 @@
+package mis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLuby(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			adj := randomGraph(n, 10.0/float64(n), rng) // ~avg degree 10
+			owners := make([]int, n)
+			for i := range owners {
+				owners[i] = i
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				draw := singleStream(int64(i))
+				Luby(owners, adj, draw)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	adj := randomGraph(n, 10.0/float64(n), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(n, adj)
+	}
+}

@@ -1,0 +1,174 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraph(n int, p float64, rng *rand.Rand) [][]int {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for w := v + 1; w < n; w++ {
+			if rng.Float64() < p {
+				adj[v] = append(adj[v], w)
+				adj[w] = append(adj[w], v)
+			}
+		}
+	}
+	return adj
+}
+
+func singleStream(seed int64) Drawer {
+	rng := rand.New(rand.NewSource(seed))
+	return func(int) float64 { return rng.Float64() }
+}
+
+func TestLubyProducesMaximalIndependentSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(80)
+		adj := randomGraph(n, 0.15, rng)
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i % 7
+		}
+		got, iters := Luby(owners, adj, singleStream(int64(trial)))
+		ind, max := Verify(adj, got)
+		if !ind || !max {
+			t.Fatalf("n=%d trial=%d: independent=%v maximal=%v", n, trial, ind, max)
+		}
+		if iters < 1 {
+			t.Fatalf("n=%d: Luby reported %d iterations", n, iters)
+		}
+	}
+}
+
+func TestLubyEmptyGraph(t *testing.T) {
+	got, iters := Luby(nil, nil, singleStream(1))
+	if len(got) != 0 || iters != 0 {
+		t.Errorf("empty graph: got %v, %d iterations", got, iters)
+	}
+}
+
+func TestLubyCompleteGraphPicksOne(t *testing.T) {
+	n := 10
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if w != v {
+				adj[v] = append(adj[v], w)
+			}
+		}
+	}
+	owners := make([]int, n)
+	got, _ := Luby(owners, adj, singleStream(3))
+	count := 0
+	for _, in := range got {
+		if in {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("complete graph MIS has %d members, want 1", count)
+	}
+}
+
+func TestLubyIsolatedVerticesAllIn(t *testing.T) {
+	n := 6
+	adj := make([][]int, n)
+	owners := make([]int, n)
+	got, iters := Luby(owners, adj, singleStream(5))
+	for v, in := range got {
+		if !in {
+			t.Errorf("isolated vertex %d not in MIS", v)
+		}
+	}
+	if iters != 1 {
+		t.Errorf("edgeless graph should finish in 1 iteration, took %d", iters)
+	}
+}
+
+func TestLubyDeterministicPerOwnerStreams(t *testing.T) {
+	// The same per-owner streams must yield the same MIS regardless of how
+	// many times we run (this is what lets the local engine mirror the
+	// distributed protocol).
+	rng := rand.New(rand.NewSource(9))
+	n := 40
+	adj := randomGraph(n, 0.2, rng)
+	owners := make([]int, n)
+	for i := range owners {
+		owners[i] = i / 5
+	}
+	mk := func() Drawer {
+		streams := map[int]*rand.Rand{}
+		return func(owner int) float64 {
+			s, ok := streams[owner]
+			if !ok {
+				s = rand.New(rand.NewSource(1000 + int64(owner)))
+				streams[owner] = s
+			}
+			return s.Float64()
+		}
+	}
+	a, _ := Luby(owners, adj, mk())
+	b, _ := Luby(owners, adj, mk())
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d differs between identical runs", v)
+		}
+	}
+}
+
+func TestGreedyIsMaximalIndependent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		adj := randomGraph(n, 0.25, rng)
+		got := Greedy(n, adj)
+		ind, max := Verify(adj, got)
+		return ind && max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyLexicographicallyFirst(t *testing.T) {
+	// Path 0-1-2-3: greedy takes {0,2}... vertex 3's neighbor 2 is in, so
+	// {0,2} only? 3 is adjacent to 2 which is in, so {0,2}. Wait: 0 in,
+	// blocks 1; 2 in, blocks 3. Result {0,2}.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	got := Greedy(4, adj)
+	want := []bool{true, false, true, false}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("Greedy path graph = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	adj := [][]int{
+		{1, 1, 0, 2}, // dup + self-loop
+		{0},
+		{0},
+	}
+	got := Normalize(3, adj)
+	if len(got[0]) != 2 || got[0][0] != 1 || got[0][1] != 2 {
+		t.Errorf("Normalize row 0 = %v, want [1 2]", got[0])
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	adj := [][]int{{1}, {0}, {}}
+	if ind, _ := Verify(adj, []bool{true, true, true}); ind {
+		t.Error("adjacent members should not be independent")
+	}
+	if _, max := Verify(adj, []bool{false, false, true}); max {
+		t.Error("uncovered non-member should not be maximal")
+	}
+	if ind, max := Verify(adj, []bool{true, false, true}); !ind || !max {
+		t.Error("valid MIS rejected")
+	}
+}

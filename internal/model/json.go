@@ -1,0 +1,140 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"treesched/internal/graph"
+)
+
+// jsonInstance is the on-disk form of an Instance.
+type jsonInstance struct {
+	Kind        string       `json:"kind"` // "tree"
+	NumVertices int          `json:"num_vertices"`
+	Trees       [][][2]int   `json:"trees"` // per tree: list of [u,v] edges
+	Demands     []jsonDemand `json:"demands"`
+}
+
+type jsonDemand struct {
+	U        int      `json:"u"`
+	V        int      `json:"v"`
+	Profit   float64  `json:"profit"`
+	Height   float64  `json:"height"`
+	Access   []TreeID `json:"access"`
+	Release  int      `json:"release,omitempty"`
+	Deadline int      `json:"deadline,omitempty"`
+	Proc     int      `json:"proc,omitempty"`
+}
+
+type jsonLineInstance struct {
+	Kind         string       `json:"kind"` // "line"
+	NumSlots     int          `json:"num_slots"`
+	NumResources int          `json:"num_resources"`
+	Demands      []jsonDemand `json:"demands"`
+}
+
+// WriteJSON serializes the instance.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	j := jsonInstance{Kind: "tree", NumVertices: in.NumVertices}
+	for _, t := range in.Trees {
+		edges := make([][2]int, 0, t.N()-1)
+		for _, e := range t.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		j.Trees = append(j.Trees, edges)
+	}
+	for _, d := range in.Demands {
+		j.Demands = append(j.Demands, jsonDemand{
+			U: d.U, V: d.V, Profit: d.Profit, Height: d.Height, Access: d.Access,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadInstanceJSON parses a tree instance written by WriteJSON.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var j jsonInstance
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	if j.Kind != "tree" {
+		return nil, fmt.Errorf("model: expected kind %q, got %q", "tree", j.Kind)
+	}
+	in := &Instance{NumVertices: j.NumVertices}
+	for q, ej := range j.Trees {
+		edges := make([]graph.Edge, 0, len(ej))
+		for _, e := range ej {
+			edges = append(edges, graph.Edge{U: e[0], V: e[1]})
+		}
+		t, err := graph.NewTree(j.NumVertices, edges)
+		if err != nil {
+			return nil, fmt.Errorf("model: tree %d: %w", q, err)
+		}
+		in.Trees = append(in.Trees, t)
+	}
+	for i, dj := range j.Demands {
+		in.Demands = append(in.Demands, Demand{
+			ID: i, U: dj.U, V: dj.V, Profit: dj.Profit, Height: dj.Height, Access: dj.Access,
+		})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// WriteJSON serializes the line instance.
+func (in *LineInstance) WriteJSON(w io.Writer) error {
+	j := jsonLineInstance{Kind: "line", NumSlots: in.NumSlots, NumResources: in.NumResources}
+	for _, d := range in.Demands {
+		j.Demands = append(j.Demands, jsonDemand{
+			Profit: d.Profit, Height: d.Height, Access: d.Access,
+			Release: d.Release, Deadline: d.Deadline, Proc: d.Proc,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadLineInstanceJSON parses a line instance written by WriteJSON.
+func ReadLineInstanceJSON(r io.Reader) (*LineInstance, error) {
+	var j jsonLineInstance
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("model: decoding line instance: %w", err)
+	}
+	if j.Kind != "line" {
+		return nil, fmt.Errorf("model: expected kind %q, got %q", "line", j.Kind)
+	}
+	in := &LineInstance{NumSlots: j.NumSlots, NumResources: j.NumResources}
+	for i, dj := range j.Demands {
+		in.Demands = append(in.Demands, LineDemand{
+			ID: i, Release: dj.Release, Deadline: dj.Deadline, Proc: dj.Proc,
+			Profit: dj.Profit, Height: dj.Height, Access: dj.Access,
+		})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// SniffKind reports whether the JSON document is a "tree" or "line" instance
+// without consuming the reader's data (it reads everything and returns the
+// raw bytes for re-parsing).
+func SniffKind(r io.Reader) (kind string, raw []byte, err error) {
+	raw, err = io.ReadAll(r)
+	if err != nil {
+		return "", nil, err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", nil, fmt.Errorf("model: sniffing instance kind: %w", err)
+	}
+	return probe.Kind, raw, nil
+}

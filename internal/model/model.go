@@ -1,0 +1,203 @@
+// Package model defines the throughput-maximization problem of the paper:
+// demands over a shared vertex set, tree-networks, accessibility sets, and
+// the demand-instance reformulation of §2 (one instance per accessible
+// network). It also implements the line-network-with-windows variant of §7,
+// whose instances additionally range over execution start times.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/graph"
+)
+
+// TreeID identifies a tree-network (or a line resource) within an instance.
+type TreeID = int
+
+// DemandID identifies a demand; the processor owning it has the same index.
+type DemandID = int
+
+// InstanceID identifies a demand instance within the expanded set D.
+type InstanceID = int
+
+// EdgeKey identifies an edge globally across all networks of an instance:
+// the network id in the high 32 bits, the within-tree EdgeID in the low 32.
+type EdgeKey int64
+
+// MakeEdgeKey packs a network id and an edge id.
+func MakeEdgeKey(tree TreeID, edge graph.EdgeID) EdgeKey {
+	return EdgeKey(int64(tree)<<32 | int64(uint32(edge)))
+}
+
+// Tree returns the network id of the key.
+func (k EdgeKey) Tree() TreeID { return TreeID(int64(k) >> 32) }
+
+// Edge returns the within-tree edge id of the key.
+func (k EdgeKey) Edge() graph.EdgeID { return graph.EdgeID(uint32(int64(k))) }
+
+func (k EdgeKey) String() string {
+	return fmt.Sprintf("T%d/e%d", k.Tree(), k.Edge())
+}
+
+// Demand is a request to route between two vertices (§2). Height is the
+// bandwidth requirement in (0,1]; 1 for the unit-height case. Access lists
+// the networks the owning processor can use.
+type Demand struct {
+	ID     DemandID
+	U, V   graph.Vertex
+	Profit float64
+	Height float64
+	Access []TreeID
+}
+
+// Wide reports whether the demand is a wide instance source (§6): h > 1/2.
+// Unit-height demands are wide.
+func (d Demand) Wide() bool { return d.Height > 0.5 }
+
+// Instance is a complete tree-network problem instance.
+type Instance struct {
+	NumVertices int
+	Trees       []*graph.Tree
+	Demands     []Demand
+}
+
+// Validate checks structural invariants: consistent IDs, endpoints and
+// accessibility in range, heights in (0,1], positive profits.
+func (in *Instance) Validate() error {
+	if in.NumVertices <= 0 {
+		return fmt.Errorf("model: instance needs at least one vertex")
+	}
+	for q, t := range in.Trees {
+		if t.N() != in.NumVertices {
+			return fmt.Errorf("model: tree %d has %d vertices, instance has %d", q, t.N(), in.NumVertices)
+		}
+	}
+	for i, d := range in.Demands {
+		if d.ID != i {
+			return fmt.Errorf("model: demand %d has ID %d", i, d.ID)
+		}
+		if d.U < 0 || d.U >= in.NumVertices || d.V < 0 || d.V >= in.NumVertices {
+			return fmt.Errorf("model: demand %d endpoints (%d,%d) out of range", i, d.U, d.V)
+		}
+		if d.U == d.V {
+			return fmt.Errorf("model: demand %d has equal endpoints %d", i, d.U)
+		}
+		if !(d.Profit > 0) || math.IsInf(d.Profit, 0) {
+			return fmt.Errorf("model: demand %d has invalid profit %v", i, d.Profit)
+		}
+		if !(d.Height > 0) || d.Height > 1 {
+			return fmt.Errorf("model: demand %d has invalid height %v", i, d.Height)
+		}
+		if len(d.Access) == 0 {
+			return fmt.Errorf("model: demand %d has no accessible networks", i)
+		}
+		seen := map[TreeID]bool{}
+		for _, q := range d.Access {
+			if q < 0 || q >= len(in.Trees) {
+				return fmt.Errorf("model: demand %d accesses unknown network %d", i, q)
+			}
+			if seen[q] {
+				return fmt.Errorf("model: demand %d lists network %d twice", i, q)
+			}
+			seen[q] = true
+		}
+	}
+	return nil
+}
+
+// ProfitRange returns (pmin, pmax) over all demands; (0,0) if none.
+func (in *Instance) ProfitRange() (pmin, pmax float64) {
+	for i, d := range in.Demands {
+		if i == 0 || d.Profit < pmin {
+			pmin = d.Profit
+		}
+		if i == 0 || d.Profit > pmax {
+			pmax = d.Profit
+		}
+	}
+	return pmin, pmax
+}
+
+// MinHeight returns the minimum demand height (hmin); 1 if there are no
+// demands.
+func (in *Instance) MinHeight() float64 {
+	h := 1.0
+	for _, d := range in.Demands {
+		if d.Height < h {
+			h = d.Height
+		}
+	}
+	return h
+}
+
+// DemandInstance is a copy of a demand on one accessible network (§2). Its
+// path in the network is fixed (trees have unique paths).
+type DemandInstance struct {
+	ID     InstanceID
+	Demand DemandID
+	Tree   TreeID
+	U, V   graph.Vertex
+	Profit float64
+	Height float64
+	Path   []EdgeKey
+}
+
+// Expand builds the demand-instance set D of §2: one instance per
+// (demand, accessible network) pair, in deterministic order (by demand, then
+// by the order networks appear in Access).
+func (in *Instance) Expand() []DemandInstance {
+	var out []DemandInstance
+	for _, d := range in.Demands {
+		for _, q := range d.Access {
+			t := in.Trees[q]
+			edges := t.PathEdges(d.U, d.V)
+			path := make([]EdgeKey, len(edges))
+			for j, e := range edges {
+				path[j] = MakeEdgeKey(q, e)
+			}
+			out = append(out, DemandInstance{
+				ID:     len(out),
+				Demand: d.ID,
+				Tree:   q,
+				U:      d.U,
+				V:      d.V,
+				Profit: d.Profit,
+				Height: d.Height,
+				Path:   path,
+			})
+		}
+	}
+	return out
+}
+
+// Overlapping reports whether two demand instances belong to the same
+// network and share an edge (§2).
+func Overlapping(a, b *DemandInstance) bool {
+	if a.Tree != b.Tree {
+		return false
+	}
+	set := make(map[EdgeKey]struct{}, len(a.Path))
+	for _, e := range a.Path {
+		set[e] = struct{}{}
+	}
+	for _, e := range b.Path {
+		if _, ok := set[e]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicting reports whether two distinct demand instances conflict (§2):
+// they belong to the same demand, or they overlap. An instance never
+// conflicts with itself.
+func Conflicting(a, b *DemandInstance) bool {
+	if a.ID == b.ID {
+		return false
+	}
+	if a.Demand == b.Demand {
+		return true
+	}
+	return Overlapping(a, b)
+}

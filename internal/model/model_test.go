@@ -1,0 +1,246 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treesched/internal/graph"
+	"treesched/internal/graph/graphtest"
+)
+
+// fig2Instance reproduces Figure 2 of the paper: demands <1,10>, <2,3> and
+// <12,13> on the Figure 6 tree all share edge <4,5>... The paper's Figure 2
+// tree is separate, but the figure caption's facts are topology-independent:
+// we realize them on a path 1-2-...-14 (0-indexed 0..13) where the demands
+// <0,9>, <1,2> and <11,12> all share no single edge. Instead we use the
+// figure's stated property directly with a custom tree below.
+func fig2Instance(t *testing.T) *Instance {
+	t.Helper()
+	// A tree in which <1,10>, <2,3>, <12,13> (paper labels) all share the
+	// edge <4,5>: vertices 0..13 (paper k -> k-1). Build:
+	// 1-2-3-4-5-6-...-10 path, with 12,13 hanging so their path crosses 4-5.
+	// Simplest: star-ish caterpillar: 1-2, 2-3, 3-4, 4-5, 5-6..., and 12
+	// attached at 4, 13 attached at 5? Then path(12,13) = 12-4-5-13 shares
+	// <4,5>. path(2,3) must cross <4,5> too, so attach 2 at 4 and 3 at 5.
+	edges := []graph.Edge{
+		{U: 0, V: 3},   // 1-4
+		{U: 3, V: 1},   // 4-2
+		{U: 3, V: 11},  // 4-12
+		{U: 3, V: 4},   // 4-5
+		{U: 4, V: 2},   // 5-3
+		{U: 4, V: 12},  // 5-13
+		{U: 4, V: 9},   // 5-10
+		{U: 0, V: 5},   // filler to use all 14 vertices
+		{U: 5, V: 6},   // filler
+		{U: 6, V: 7},   // filler
+		{U: 7, V: 8},   // filler
+		{U: 9, V: 10},  // filler
+		{U: 10, V: 13}, // filler
+	}
+	tr, err := graph.NewTree(14, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{
+		NumVertices: 14,
+		Trees:       []*graph.Tree{tr},
+		Demands: []Demand{
+			{ID: 0, U: 0, V: 9, Profit: 1, Height: 0.4, Access: []TreeID{0}},   // <1,10> h=.4
+			{ID: 1, U: 1, V: 2, Profit: 1, Height: 0.7, Access: []TreeID{0}},   // <2,3> h=.7
+			{ID: 2, U: 11, V: 12, Profit: 1, Height: 0.3, Access: []TreeID{0}}, // <12,13> h=.3
+		},
+	}
+}
+
+func TestFig2AllDemandsShareAnEdge(t *testing.T) {
+	in := fig2Instance(t)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts := in.Expand()
+	if len(insts) != 3 {
+		t.Fatalf("expected 3 instances, got %d", len(insts))
+	}
+	shared := MakeEdgeKey(0, 4) // edge 4-5 in paper labels = (3,4) here, id 4
+	for i := range insts {
+		found := false
+		for _, e := range insts[i].Path {
+			if e == shared {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("instance %d does not cross the shared edge; path=%v", i, insts[i].Path)
+		}
+	}
+	// Unit-height view: all three pairwise overlap.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if !Overlapping(&insts[i], &insts[j]) {
+				t.Errorf("instances %d and %d should overlap", i, j)
+			}
+		}
+	}
+	// Arbitrary heights (.4, .7, .3): first and third fit together (.7 ≤ 1)
+	// as the figure states.
+	if insts[0].Height+insts[2].Height > 1 {
+		t.Errorf("heights .4+.3 should fit in unit capacity")
+	}
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	tr := graphtest.Fig6Tree()
+	base := func() *Instance {
+		return &Instance{
+			NumVertices: 15,
+			Trees:       []*graph.Tree{tr},
+			Demands: []Demand{
+				{ID: 0, U: 0, V: 5, Profit: 1, Height: 1, Access: []TreeID{0}},
+			},
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{"demand id mismatch", func(in *Instance) { in.Demands[0].ID = 7 }},
+		{"equal endpoints", func(in *Instance) { in.Demands[0].V = in.Demands[0].U }},
+		{"endpoint out of range", func(in *Instance) { in.Demands[0].V = 99 }},
+		{"zero profit", func(in *Instance) { in.Demands[0].Profit = 0 }},
+		{"negative profit", func(in *Instance) { in.Demands[0].Profit = -2 }},
+		{"height zero", func(in *Instance) { in.Demands[0].Height = 0 }},
+		{"height above one", func(in *Instance) { in.Demands[0].Height = 1.5 }},
+		{"no access", func(in *Instance) { in.Demands[0].Access = nil }},
+		{"unknown network", func(in *Instance) { in.Demands[0].Access = []TreeID{3} }},
+		{"duplicate network", func(in *Instance) { in.Demands[0].Access = []TreeID{0, 0} }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := base()
+			tc.mutate(in)
+			if err := in.Validate(); err == nil {
+				t.Fatalf("Validate() succeeded, want error")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base instance should validate: %v", err)
+	}
+}
+
+func TestExpandDeterministicAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr1 := graphtest.RandomTree(20, rng)
+	tr2 := graphtest.RandomTree(20, rng)
+	in := &Instance{
+		NumVertices: 20,
+		Trees:       []*graph.Tree{tr1, tr2},
+		Demands: []Demand{
+			{ID: 0, U: 3, V: 9, Profit: 2, Height: 1, Access: []TreeID{0, 1}},
+			{ID: 1, U: 1, V: 4, Profit: 5, Height: 1, Access: []TreeID{1}},
+		},
+	}
+	a := in.Expand()
+	b := in.Expand()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Expand is not deterministic")
+	}
+	if len(a) != 3 {
+		t.Fatalf("expected 3 instances, got %d", len(a))
+	}
+	if a[0].Tree != 0 || a[1].Tree != 1 || a[2].Tree != 1 {
+		t.Errorf("instances assigned to wrong trees: %+v", a)
+	}
+	for _, di := range a {
+		if len(di.Path) == 0 {
+			t.Errorf("instance %d has empty path", di.ID)
+		}
+		for _, e := range di.Path {
+			if e.Tree() != di.Tree {
+				t.Errorf("instance %d path edge %v on wrong tree", di.ID, e)
+			}
+		}
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		tree TreeID
+		edge graph.EdgeID
+	}{{0, 0}, {0, 5}, {3, 1 << 20}, {1000, 42}} {
+		k := MakeEdgeKey(tc.tree, tc.edge)
+		if k.Tree() != tc.tree || k.Edge() != tc.edge {
+			t.Errorf("EdgeKey(%d,%d) round-trips to (%d,%d)", tc.tree, tc.edge, k.Tree(), k.Edge())
+		}
+	}
+}
+
+func TestConflictingSameDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr1 := graphtest.RandomTree(10, rng)
+	tr2 := graphtest.RandomTree(10, rng)
+	in := &Instance{
+		NumVertices: 10,
+		Trees:       []*graph.Tree{tr1, tr2},
+		Demands: []Demand{
+			{ID: 0, U: 0, V: 9, Profit: 1, Height: 1, Access: []TreeID{0, 1}},
+		},
+	}
+	insts := in.Expand()
+	if len(insts) != 2 {
+		t.Fatalf("expected 2 instances, got %d", len(insts))
+	}
+	if Overlapping(&insts[0], &insts[1]) {
+		t.Error("instances on different trees cannot overlap")
+	}
+	if !Conflicting(&insts[0], &insts[1]) {
+		t.Error("instances of the same demand must conflict")
+	}
+	if Conflicting(&insts[0], &insts[0]) {
+		t.Error("an instance does not conflict with itself")
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := fig2Instance(t)
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	kind, raw, err := SniffKind(bytes.NewReader(buf.Bytes()))
+	if err != nil || kind != "tree" {
+		t.Fatalf("SniffKind = %q, %v", kind, err)
+	}
+	got, err := ReadInstanceJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != in.NumVertices || len(got.Trees) != len(in.Trees) {
+		t.Fatalf("round trip changed shape: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Demands, in.Demands) {
+		t.Errorf("round trip changed demands:\n got %+v\nwant %+v", got.Demands, in.Demands)
+	}
+	if !reflect.DeepEqual(got.Expand(), in.Expand()) {
+		t.Error("round trip changed expansion")
+	}
+}
+
+func TestProfitRangeAndMinHeight(t *testing.T) {
+	in := fig2Instance(t)
+	in.Demands[0].Profit = 0.5
+	in.Demands[1].Profit = 8
+	pmin, pmax := in.ProfitRange()
+	if pmin != 0.5 || pmax != 8 {
+		t.Errorf("ProfitRange = (%v,%v), want (0.5,8)", pmin, pmax)
+	}
+	if h := in.MinHeight(); h != 0.3 {
+		t.Errorf("MinHeight = %v, want 0.3", h)
+	}
+	empty := &Instance{NumVertices: 1}
+	if h := empty.MinHeight(); h != 1 {
+		t.Errorf("empty MinHeight = %v, want 1", h)
+	}
+}

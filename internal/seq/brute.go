@@ -1,0 +1,140 @@
+// Package seq contains the sequential algorithms that frame the distributed
+// ones: exact solvers for small instances (branch and bound) and structured
+// special cases (weighted-interval DP for one unit-height line resource),
+// the Appendix-A sequential 3-approximation for tree networks, and a
+// Panconesi–Sozio-style single-stage baseline used in ablations.
+package seq
+
+import (
+	"sort"
+
+	"treesched/internal/dual"
+	"treesched/internal/engine"
+	"treesched/internal/model"
+)
+
+// BruteForceLimit is the largest item count Brute accepts; beyond this the
+// search space is too large to enumerate exactly.
+const BruteForceLimit = 30
+
+// Brute computes the exact optimum by depth-first branch and bound over the
+// items: each item is either skipped or added (if feasible given demands
+// used and edge capacities). Capacities honor true heights when unit is
+// false, and edge-disjointness when unit is true. Suitable for ≤ ~25 items.
+func Brute(items []engine.Item, unit bool) (best float64, selected []int) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	// Order by descending profit so the suffix bound prunes early.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if items[order[a]].Profit != items[order[b]].Profit {
+			return items[order[a]].Profit > items[order[b]].Profit
+		}
+		return order[a] < order[b]
+	})
+	// suffix[i] = total profit of items order[i:] ignoring feasibility.
+	suffix := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + items[order[i]].Profit
+	}
+
+	usage := make(map[model.EdgeKey]float64)
+	usedDemand := make(map[int]bool)
+	var cur []int
+	var curProfit float64
+
+	var dfs func(i int)
+	dfs = func(i int) {
+		if curProfit > best {
+			best = curProfit
+			selected = append(selected[:0], cur...)
+		}
+		if i == len(order) || curProfit+suffix[i] <= best {
+			return
+		}
+		it := &items[order[i]]
+		need := it.Height
+		if unit {
+			need = 1
+		}
+		if !usedDemand[it.Demand] {
+			ok := true
+			for _, e := range it.Edges {
+				if usage[e]+need > 1+dual.Tolerance {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				usedDemand[it.Demand] = true
+				for _, e := range it.Edges {
+					usage[e] += need
+				}
+				cur = append(cur, order[i])
+				curProfit += it.Profit
+				dfs(i + 1)
+				curProfit -= it.Profit
+				cur = cur[:len(cur)-1]
+				for _, e := range it.Edges {
+					usage[e] -= need
+				}
+				usedDemand[it.Demand] = false
+			}
+		}
+		dfs(i + 1)
+	}
+	dfs(0)
+	sort.Ints(selected)
+	return best, selected
+}
+
+// LineExactSingleResource solves the unit-height case on a single line
+// resource exactly: selecting pairwise-disjoint intervals of maximum total
+// profit, with at most one instance per demand. With one instance per
+// demand this is classic weighted interval scheduling, solved by DP in
+// O(k log k); with windows (several instances per demand) the one-per-demand
+// constraint is automatically satisfied by disjointness only when instances
+// of one demand overlap pairwise, so this solver requires that every
+// demand's instances pairwise overlap in time (true for tight windows:
+// dl - rt < 2ρ). It returns -1 if that precondition fails.
+func LineExactSingleResource(items []model.LineDemandInstance) float64 {
+	// Precondition: per-demand instances pairwise overlapping.
+	byDemand := make(map[int][]model.LineDemandInstance)
+	for _, di := range items {
+		byDemand[di.Demand] = append(byDemand[di.Demand], di)
+	}
+	for _, group := range byDemand {
+		for i := range group {
+			for j := i + 1; j < len(group); j++ {
+				if !model.LineOverlapping(&group[i], &group[j]) {
+					return -1
+				}
+			}
+		}
+	}
+	sorted := append([]model.LineDemandInstance(nil), items...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].End < sorted[b].End })
+	// dp[i] = best profit using sorted[:i].
+	dp := make([]float64, len(sorted)+1)
+	ends := make([]int, len(sorted))
+	for i, di := range sorted {
+		ends[i] = di.End
+	}
+	for i := 1; i <= len(sorted); i++ {
+		di := sorted[i-1]
+		// Last index j with End < di.Start.
+		j := sort.SearchInts(ends, di.Start) // first End >= Start
+		take := dp[j] + di.Profit
+		skip := dp[i-1]
+		if take > skip {
+			dp[i] = take
+		} else {
+			dp[i] = skip
+		}
+	}
+	return dp[len(sorted)]
+}

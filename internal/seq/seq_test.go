@@ -1,0 +1,237 @@
+package seq_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/model"
+	"treesched/internal/seq"
+	"treesched/internal/verify"
+	"treesched/internal/workload"
+)
+
+func smallItems(t *testing.T, seed int64, unitHeights bool) []engine.Item {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.TreeConfig{Vertices: 10, Trees: 2, Demands: 7, ProfitRatio: 4}
+	if !unitHeights {
+		cfg.Heights = workload.MixedHeights
+		cfg.HMin = 0.2
+	}
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// bruteRef is an exhaustive reference: enumerate all subsets (for very small
+// item counts) and keep the best feasible one.
+func bruteRef(items []engine.Item, unit bool) float64 {
+	n := len(items)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		profit := 0.0
+		usage := map[model.EdgeKey]float64{}
+		demands := map[int]bool{}
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			it := &items[i]
+			if demands[it.Demand] {
+				ok = false
+				break
+			}
+			demands[it.Demand] = true
+			need := it.Height
+			if unit {
+				need = 1
+			}
+			for _, e := range it.Edges {
+				usage[e] += need
+				if usage[e] > 1+1e-9 {
+					ok = false
+					break
+				}
+			}
+			profit += it.Profit
+		}
+		if ok && profit > best {
+			best = profit
+		}
+	}
+	return best
+}
+
+func TestBruteMatchesExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		items := smallItems(t, seed, true)
+		if len(items) > 14 {
+			items = items[:14]
+			for i := range items {
+				items[i].ID = i
+			}
+		}
+		got, sel := seq.Brute(items, true)
+		want := bruteRef(items, true)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: Brute = %v, exhaustive = %v", seed, got, want)
+		}
+		if err := verify.Feasible(items, sel, engine.Unit); err != nil {
+			t.Fatalf("seed %d: Brute selection infeasible: %v", seed, err)
+		}
+		total := 0.0
+		for _, id := range sel {
+			total += items[id].Profit
+		}
+		if math.Abs(total-got) > 1e-9 {
+			t.Fatalf("seed %d: selection profit %v != reported %v", seed, total, got)
+		}
+	}
+}
+
+func TestBruteWithHeights(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		items := smallItems(t, 50+seed, false)
+		if len(items) > 12 {
+			items = items[:12]
+			for i := range items {
+				items[i].ID = i
+			}
+		}
+		got, sel := seq.Brute(items, false)
+		want := bruteRef(items, false)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: Brute = %v, exhaustive = %v", seed, got, want)
+		}
+		if err := verify.FeasibleHeights(items, sel); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestBruteEmpty(t *testing.T) {
+	p, sel := seq.Brute(nil, true)
+	if p != 0 || len(sel) != 0 {
+		t.Errorf("Brute(nil) = %v, %v", p, sel)
+	}
+}
+
+func TestAppendixAThreeApproximation(t *testing.T) {
+	// Appendix A: ∆ = 2, λ = 1 ⇒ 3-approximation (Lemma 3.1); against
+	// brute force on small instances the ratio must hold, and the trace
+	// must satisfy the interference property.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		in, err := workload.RandomTreeInstance(workload.TreeConfig{
+			Vertices: 12, Trees: 2, Demands: 8, ProfitRatio: 8,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := seq.AppendixA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delta > 2 {
+			t.Fatalf("seed %d: Appendix A ∆ = %d > 2", seed, res.Delta)
+		}
+		if err := verify.Feasible(res.Items, res.Selected, engine.Unit); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Interference(res.Items, res.Trace); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, _ := seq.Brute(res.Items, true)
+		if opt > res.Bound+1e-6 {
+			t.Fatalf("seed %d: optimum %v above dual bound %v", seed, opt, res.Bound)
+		}
+		if res.Profit*3 < opt-1e-9 {
+			t.Fatalf("seed %d: ratio %v exceeds 3", seed, opt/res.Profit)
+		}
+	}
+}
+
+func TestAppendixASingleTreeTwoApproximation(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		in, err := workload.RandomTreeInstance(workload.TreeConfig{
+			Vertices: 14, Trees: 1, Demands: 9, ProfitRatio: 8,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := seq.AppendixA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.Brute(res.Items, true)
+		if res.Profit*2 < opt-1e-9 {
+			t.Fatalf("seed %d: single-tree ratio %v exceeds 2", seed, opt/res.Profit)
+		}
+		if opt > res.Bound+1e-6 {
+			t.Fatalf("seed %d: optimum %v above bound %v", seed, opt, res.Bound)
+		}
+	}
+}
+
+func TestLineExactSingleResource(t *testing.T) {
+	// Three disjoint intervals plus one overlapping pair.
+	items := []model.LineDemandInstance{
+		{ID: 0, Demand: 0, Resource: 0, Start: 1, End: 3, Profit: 4},
+		{ID: 1, Demand: 1, Resource: 0, Start: 2, End: 5, Profit: 6},
+		{ID: 2, Demand: 2, Resource: 0, Start: 6, End: 8, Profit: 3},
+		{ID: 3, Demand: 3, Resource: 0, Start: 9, End: 9, Profit: 2},
+	}
+	// Optimal: {1, 2, 3} = 11.
+	if got := seq.LineExactSingleResource(items); got != 11 {
+		t.Errorf("LineExact = %v, want 11", got)
+	}
+}
+
+func TestLineExactRejectsDisjointSameDemand(t *testing.T) {
+	items := []model.LineDemandInstance{
+		{ID: 0, Demand: 0, Resource: 0, Start: 1, End: 2, Profit: 1},
+		{ID: 1, Demand: 0, Resource: 0, Start: 5, End: 6, Profit: 1},
+	}
+	if got := seq.LineExactSingleResource(items); got != -1 {
+		t.Errorf("expected precondition rejection, got %v", got)
+	}
+}
+
+func TestLineExactMatchesBruteOnTightWindows(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(1100 + seed))
+		in, err := workload.RandomLineInstance(workload.LineConfig{
+			Slots: 20, Resources: 1, Demands: 8, ProfitRatio: 4,
+			ProcMin: 2, ProcMax: 5, WindowSlack: 1,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lineInsts := in.Expand()
+		exact := seq.LineExactSingleResource(lineInsts)
+		if exact < 0 {
+			continue // slack produced time-disjoint duplicates; skip
+		}
+		items, err := engine.BuildLineItems(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) > 22 {
+			continue
+		}
+		brute, _ := seq.Brute(items, true)
+		if math.Abs(exact-brute) > 1e-9 {
+			t.Fatalf("seed %d: DP = %v, brute = %v", seed, exact, brute)
+		}
+	}
+}

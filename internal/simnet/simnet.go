@@ -1,0 +1,284 @@
+// Package simnet simulates the synchronous message-passing model of
+// distributed computing the paper assumes (§1): computation proceeds in
+// rounds; in each round every processor receives the messages sent to it in
+// the previous round, updates local state, and emits messages to processors
+// it is directly connected to (in this problem: processors sharing an
+// accessible network).
+//
+// Each processor runs as its own goroutine; the coordinator drives rounds
+// over channels, so the message-passing structure of the algorithm maps
+// one-to-one onto Go's concurrency primitives. Delivery is deterministic:
+// inboxes are sorted by (sender, emission order). The simulator counts
+// rounds, messages and message sizes; local computation is free, exactly as
+// in the model.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Payload is the content of a message. Size reports the abstract message
+// size in units of M, the number of bits needed to encode one demand
+// (§5 "Distributed Implementation" bounds every message by O(M)).
+type Payload interface {
+	Size() int
+}
+
+// Message is one message in flight.
+type Message struct {
+	From, To int
+	Payload  Payload
+}
+
+// Node is a processor. Round is called once per synchronous round with the
+// messages delivered this round and returns the messages to send (delivered
+// next round). Done reports local termination; the network stops when every
+// node is done and no messages are in flight.
+//
+// A Node's methods are called from its own goroutine; nodes must not share
+// mutable state.
+type Node interface {
+	Round(round int, inbox []Message) (outbox []Message)
+	Done() bool
+}
+
+// Stats aggregates the run's communication costs.
+type Stats struct {
+	Rounds         int // synchronous rounds elapsed (including fast-forwarded idle rounds)
+	SkippedRounds  int // idle rounds fast-forwarded rather than executed
+	BusyRounds     int // rounds in which at least one message was delivered or sent
+	Messages       int // total messages delivered
+	TotalSize      int // sum of payload sizes (units of M)
+	MaxMessageSize int // largest single payload
+}
+
+// FastForwarder is an optional Node extension. When a round moves no
+// messages, the coordinator may skip ahead to the earliest round at which
+// some node would act spontaneously (send without first receiving). A node
+// returns the earliest such future round (> now), or -1 if it will never act
+// again unless a message arrives. Skipped rounds are counted in
+// Stats.Rounds/SkippedRounds but not executed; this is a pure simulation
+// acceleration — the synchronous schedule is unchanged because idle
+// processors neither send nor mutate shared state.
+type FastForwarder interface {
+	NextActiveRound(now int) int
+}
+
+// Network couples nodes with a communication topology.
+type Network struct {
+	nodes    []Node
+	allowed  []map[int]bool // topology: allowed[i][j] iff i may send to j
+	handles  []nodeHandle
+	started  bool
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type roundInput struct {
+	round int
+	inbox []Message
+}
+
+type roundOutput struct {
+	outbox []Message
+	done   bool
+	err    error // non-nil if the node panicked
+}
+
+type nodeHandle struct {
+	in  chan roundInput
+	out chan roundOutput
+}
+
+// New builds a network of nodes with the given topology (adjacency lists;
+// symmetric is expected but not required). Nodes may only send to their
+// topology neighbors; violations fail the run.
+func New(nodes []Node, topology [][]int) (*Network, error) {
+	if len(topology) != len(nodes) {
+		return nil, fmt.Errorf("simnet: %d nodes but %d topology rows", len(nodes), len(topology))
+	}
+	nw := &Network{nodes: nodes, allowed: make([]map[int]bool, len(nodes))}
+	for i, nbrs := range topology {
+		nw.allowed[i] = make(map[int]bool, len(nbrs))
+		for _, j := range nbrs {
+			if j < 0 || j >= len(nodes) {
+				return nil, fmt.Errorf("simnet: node %d lists invalid neighbor %d", i, j)
+			}
+			if j == i {
+				return nil, fmt.Errorf("simnet: node %d lists itself as neighbor", i)
+			}
+			nw.allowed[i][j] = true
+		}
+	}
+	return nw, nil
+}
+
+// start launches one goroutine per node.
+func (nw *Network) start() {
+	nw.handles = make([]nodeHandle, len(nw.nodes))
+	for i := range nw.nodes {
+		h := nodeHandle{in: make(chan roundInput, 1), out: make(chan roundOutput, 1)}
+		nw.handles[i] = h
+		node := nw.nodes[i]
+		nodeID := i
+		nw.wg.Add(1)
+		go func() {
+			defer nw.wg.Done()
+			for input := range h.in {
+				h.out <- safeRound(nodeID, node, input)
+			}
+		}()
+	}
+	nw.started = true
+}
+
+// safeRound invokes one node round, converting a panic into an error so a
+// faulty node fails the run instead of deadlocking the coordinator.
+func safeRound(id int, node Node, input roundInput) (out roundOutput) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = roundOutput{err: fmt.Errorf("simnet: node %d panicked in round %d: %v", id, input.round, r)}
+		}
+	}()
+	outbox := node.Round(input.round, input.inbox)
+	return roundOutput{outbox: outbox, done: node.Done()}
+}
+
+// stop closes the node channels and waits for the goroutines to exit.
+func (nw *Network) stop() {
+	nw.stopOnce.Do(func() {
+		for i := range nw.handles {
+			close(nw.handles[i].in)
+		}
+		nw.wg.Wait()
+	})
+}
+
+// Run executes rounds until every node reports Done and no messages are in
+// flight, or maxRounds elapses (an error). It returns the communication
+// statistics.
+func (nw *Network) Run(maxRounds int) (Stats, error) {
+	if nw.started {
+		return Stats{}, fmt.Errorf("simnet: network already run")
+	}
+	nw.start()
+	defer nw.stop()
+
+	var stats Stats
+	inboxes := make([][]Message, len(nw.nodes))
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return stats, fmt.Errorf("simnet: exceeded %d rounds without termination", maxRounds)
+		}
+		stats.Rounds++
+		busy := false
+		for i := range nw.nodes {
+			if len(inboxes[i]) > 0 {
+				busy = true
+			}
+			nw.handles[i].in <- roundInput{round: round, inbox: inboxes[i]}
+		}
+		next := make([][]Message, len(nw.nodes))
+		allDone := true
+		sent := 0
+		var nodeErr error
+		for i := range nw.nodes {
+			out := <-nw.handles[i].out
+			if out.err != nil && nodeErr == nil {
+				nodeErr = out.err
+			}
+			if !out.done {
+				allDone = false
+			}
+			for _, m := range out.outbox {
+				if m.From != i {
+					return stats, fmt.Errorf("simnet: node %d forged sender %d", i, m.From)
+				}
+				if !nw.allowed[i][m.To] {
+					return stats, fmt.Errorf("simnet: node %d sent to non-neighbor %d", i, m.To)
+				}
+				if m.Payload == nil {
+					return stats, fmt.Errorf("simnet: node %d sent nil payload", i)
+				}
+				next[m.To] = append(next[m.To], m)
+				sent++
+				size := m.Payload.Size()
+				stats.TotalSize += size
+				if size > stats.MaxMessageSize {
+					stats.MaxMessageSize = size
+				}
+			}
+		}
+		if nodeErr != nil {
+			return stats, nodeErr
+		}
+		stats.Messages += sent
+		if sent > 0 {
+			busy = true
+		}
+		if busy {
+			stats.BusyRounds++
+		}
+		// Deterministic delivery order: by (sender, emission order). The
+		// append order above already groups by sender in increasing order,
+		// but sort defensively so delivery never depends on scheduling.
+		for i := range next {
+			msgs := next[i]
+			sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+			inboxes[i] = msgs
+		}
+		if allDone && sent == 0 {
+			return stats, nil
+		}
+		if !busy {
+			skip, err := nw.fastForward(round)
+			if err != nil {
+				return stats, err
+			}
+			if skip > 0 {
+				stats.Rounds += skip
+				stats.SkippedRounds += skip
+				round += skip
+			}
+		}
+	}
+}
+
+// fastForward returns how many idle rounds after `round` can be skipped, or
+// an error if no node will ever act again (deadlock). It returns 0 when any
+// node does not support fast-forwarding or wants the very next round.
+func (nw *Network) fastForward(round int) (int, error) {
+	earliest := -1
+	for _, n := range nw.nodes {
+		ff, ok := n.(FastForwarder)
+		if !ok {
+			return 0, nil
+		}
+		next := ff.NextActiveRound(round)
+		if next < 0 {
+			continue
+		}
+		if next <= round {
+			return 0, fmt.Errorf("simnet: node reported non-future active round %d at round %d", next, round)
+		}
+		if earliest == -1 || next < earliest {
+			earliest = next
+		}
+	}
+	if earliest == -1 {
+		return 0, fmt.Errorf("simnet: deadlock at round %d: no messages in flight and no node will act", round)
+	}
+	return earliest - round - 1, nil
+}
+
+// Broadcast builds messages from one sender to each listed neighbor with a
+// shared payload.
+func Broadcast(from int, neighbors []int, p Payload) []Message {
+	out := make([]Message, 0, len(neighbors))
+	for _, to := range neighbors {
+		out = append(out, Message{From: from, To: to, Payload: p})
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Errorf("singleton Summarize = %+v", one)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	check := func(xs []float64) bool {
+		// Clamp to a sane magnitude: summation of ±1e308 values overflows,
+		// which is outside this helper's intended domain (experiment
+		// metrics).
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e6)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean)+1e-9 &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Max)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta-long-name", 42)
+	out := tbl.Render()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All table body lines have equal width.
+	var widths []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			widths = append(widths, len(l))
+		}
+	}
+	if len(widths) < 4 {
+		t.Fatalf("expected 4 table lines, got %d:\n%s", len(widths), out)
+	}
+	for _, w := range widths[1:] {
+		if w != widths[0] {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {3.14159, "3.142"}, {0.000123456, "0.0001235"}, {-8, "-8"},
+	}
+	for _, tc := range tests {
+		if got := FormatFloat(tc.in); got != tc.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package workload generates synthetic problem instances that exercise the
+// regimes the paper's bounds depend on: tree topology (random, path, star,
+// caterpillar, balanced binary), profit spread pmax/pmin, height mixes
+// (unit, wide, narrow, mixed with an hmin floor), accessibility-set sizes,
+// and window slack for line networks. All generators are deterministic in
+// the provided *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesched/internal/graph"
+	"treesched/internal/model"
+)
+
+// Topology names a tree shape.
+type Topology string
+
+const (
+	Random      Topology = "random"      // uniform attachment + label shuffle
+	Path        Topology = "path"        // the line 0-1-...-n-1
+	Star        Topology = "star"        // vertex 0 adjacent to all
+	Caterpillar Topology = "caterpillar" // spine with legs
+	Binary      Topology = "binary"      // complete-ish binary tree
+)
+
+// Topologies lists all supported shapes.
+func Topologies() []Topology {
+	return []Topology{Random, Path, Star, Caterpillar, Binary}
+}
+
+// Tree builds a tree of the given shape on n vertices.
+func Tree(shape Topology, n int, rng *rand.Rand) (*graph.Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: need n ≥ 1, got %d", n)
+	}
+	var edges []graph.Edge
+	switch shape {
+	case Random:
+		perm := rng.Perm(n)
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: perm[rng.Intn(v)], V: perm[v]})
+		}
+	case Path:
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: v - 1, V: v})
+		}
+	case Star:
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: 0, V: v})
+		}
+	case Caterpillar:
+		spine := (n + 1) / 2
+		for v := 1; v < spine; v++ {
+			edges = append(edges, graph.Edge{U: v - 1, V: v})
+		}
+		for v := spine; v < n; v++ {
+			edges = append(edges, graph.Edge{U: v - spine, V: v})
+		}
+	case Binary:
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: (v - 1) / 2, V: v})
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown topology %q", shape)
+	}
+	return graph.NewTree(n, edges)
+}
+
+// MustRandomTree builds a random-shape tree, panicking on invalid n; a
+// convenience for tests and the experiment harness.
+func MustRandomTree(n int, rng *rand.Rand) *graph.Tree {
+	t, err := Tree(Random, n, rng)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// HeightMix controls demand heights.
+type HeightMix int
+
+const (
+	// UnitHeights sets every height to 1 (the §5 setting).
+	UnitHeights HeightMix = iota
+	// WideHeights samples uniformly from (1/2, 1].
+	WideHeights
+	// NarrowHeights samples uniformly from [HMin, 1/2].
+	NarrowHeights
+	// MixedHeights samples uniformly from [HMin, 1].
+	MixedHeights
+)
+
+// TreeConfig parameterizes RandomTreeInstance.
+type TreeConfig struct {
+	Vertices    int
+	Trees       int
+	Demands     int
+	Shape       Topology
+	ProfitRatio float64   // pmax/pmin ≥ 1; profits log-uniform in [1, ProfitRatio]
+	Heights     HeightMix // default UnitHeights
+	HMin        float64   // floor for narrow/mixed heights; default 0.05
+	AccessMin   int       // min accessible trees per demand; default 1
+	AccessMax   int       // max accessible trees per demand; default Trees
+	// MaxDist bounds the tree distance between demand endpoints (on tree 0)
+	// to produce local traffic; 0 = unbounded.
+	MaxDist int
+	// HotspotFraction routes this fraction of demands through a single hub
+	// vertex (one endpoint fixed to the hub), concentrating contention on
+	// the hub's incident edges — the regime where per-edge dual variables
+	// grow fastest. 0 disables; the hub is vertex 0.
+	HotspotFraction float64
+}
+
+func (c *TreeConfig) normalize() error {
+	if c.Vertices < 2 {
+		return fmt.Errorf("workload: need ≥ 2 vertices, got %d", c.Vertices)
+	}
+	if c.Trees < 1 || c.Demands < 1 {
+		return fmt.Errorf("workload: need ≥ 1 tree and demand (got %d, %d)", c.Trees, c.Demands)
+	}
+	if c.Shape == "" {
+		c.Shape = Random
+	}
+	if c.ProfitRatio < 1 {
+		c.ProfitRatio = 1
+	}
+	if c.HMin <= 0 {
+		c.HMin = 0.05
+	}
+	if c.AccessMin < 1 {
+		c.AccessMin = 1
+	}
+	if c.AccessMax < c.AccessMin {
+		c.AccessMax = c.Trees
+	}
+	if c.AccessMax > c.Trees {
+		c.AccessMax = c.Trees
+	}
+	return nil
+}
+
+// RandomTreeInstance generates a tree-network instance per the config.
+func RandomTreeInstance(cfg TreeConfig, rng *rand.Rand) (*model.Instance, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	in := &model.Instance{NumVertices: cfg.Vertices}
+	for q := 0; q < cfg.Trees; q++ {
+		t, err := Tree(cfg.Shape, cfg.Vertices, rng)
+		if err != nil {
+			return nil, err
+		}
+		in.Trees = append(in.Trees, t)
+	}
+	for i := 0; i < cfg.Demands; i++ {
+		u, v := endpointPair(in.Trees[0], cfg.MaxDist, rng)
+		if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction {
+			u = 0 // route through the hub
+			if v == 0 {
+				v = 1 + rng.Intn(cfg.Vertices-1)
+			}
+		}
+		d := model.Demand{
+			ID: i, U: u, V: v,
+			Profit: profit(cfg.ProfitRatio, rng),
+			Height: height(cfg.Heights, cfg.HMin, rng),
+			Access: accessSet(cfg.Trees, cfg.AccessMin, cfg.AccessMax, rng),
+		}
+		in.Demands = append(in.Demands, d)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+func endpointPair(t *graph.Tree, maxDist int, rng *rand.Rand) (int, int) {
+	n := t.N()
+	for {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if maxDist > 0 && t.Dist(u, v) > maxDist {
+			continue
+		}
+		return u, v
+	}
+}
+
+func profit(ratio float64, rng *rand.Rand) float64 {
+	if ratio <= 1 {
+		return 1
+	}
+	// Log-uniform in [1, ratio]: spreads demands evenly across profit
+	// scales so the log(pmax/pmin) terms in the round bounds are exercised.
+	return math.Exp(rng.Float64() * math.Log(ratio))
+}
+
+func height(mix HeightMix, hmin float64, rng *rand.Rand) float64 {
+	switch mix {
+	case WideHeights:
+		return 0.5 + 0.5*rng.Float64() + 1e-9
+	case NarrowHeights:
+		return hmin + (0.5-hmin)*rng.Float64()
+	case MixedHeights:
+		return hmin + (1-hmin)*rng.Float64()
+	default:
+		return 1
+	}
+}
+
+func accessSet(total, lo, hi int, rng *rand.Rand) []model.TreeID {
+	k := lo
+	if hi > lo {
+		k += rng.Intn(hi - lo + 1)
+	}
+	perm := rng.Perm(total)
+	set := append([]model.TreeID(nil), perm[:k]...)
+	sortInts(set)
+	return set
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// LineConfig parameterizes RandomLineInstance.
+type LineConfig struct {
+	Slots       int
+	Resources   int
+	Demands     int
+	ProfitRatio float64
+	Heights     HeightMix
+	HMin        float64
+	// ProcMin/ProcMax bound processing times; defaults 1 and Slots/4.
+	ProcMin, ProcMax int
+	// WindowSlack is the max extra room in a window beyond ρ (dl-rt+1-ρ);
+	// 0 = tight windows (each demand has one start per resource).
+	WindowSlack int
+	AccessMin   int
+	AccessMax   int
+}
+
+func (c *LineConfig) normalize() error {
+	if c.Slots < 1 || c.Resources < 1 || c.Demands < 1 {
+		return fmt.Errorf("workload: need ≥ 1 slot, resource and demand")
+	}
+	if c.ProfitRatio < 1 {
+		c.ProfitRatio = 1
+	}
+	if c.HMin <= 0 {
+		c.HMin = 0.05
+	}
+	if c.ProcMin < 1 {
+		c.ProcMin = 1
+	}
+	if c.ProcMax < c.ProcMin {
+		c.ProcMax = c.Slots / 4
+		if c.ProcMax < c.ProcMin {
+			c.ProcMax = c.ProcMin
+		}
+	}
+	if c.ProcMax > c.Slots {
+		c.ProcMax = c.Slots
+	}
+	if c.AccessMin < 1 {
+		c.AccessMin = 1
+	}
+	if c.AccessMax < c.AccessMin {
+		c.AccessMax = c.Resources
+	}
+	if c.AccessMax > c.Resources {
+		c.AccessMax = c.Resources
+	}
+	return nil
+}
+
+// RandomLineInstance generates a line-network instance with windows.
+func RandomLineInstance(cfg LineConfig, rng *rand.Rand) (*model.LineInstance, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	in := &model.LineInstance{NumSlots: cfg.Slots, NumResources: cfg.Resources}
+	for i := 0; i < cfg.Demands; i++ {
+		proc := cfg.ProcMin
+		if cfg.ProcMax > cfg.ProcMin {
+			proc += rng.Intn(cfg.ProcMax - cfg.ProcMin + 1)
+		}
+		slack := 0
+		if cfg.WindowSlack > 0 {
+			slack = rng.Intn(cfg.WindowSlack + 1)
+		}
+		span := proc + slack
+		if span > cfg.Slots {
+			span = cfg.Slots
+		}
+		rt := 1 + rng.Intn(cfg.Slots-span+1)
+		in.Demands = append(in.Demands, model.LineDemand{
+			ID: i, Release: rt, Deadline: rt + span - 1, Proc: proc,
+			Profit: profit(cfg.ProfitRatio, rng),
+			Height: height(cfg.Heights, cfg.HMin, rng),
+			Access: accessSet(cfg.Resources, cfg.AccessMin, cfg.AccessMax, rng),
+		})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid line instance: %w", err)
+	}
+	return in, nil
+}

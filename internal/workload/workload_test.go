@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTreeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range Topologies() {
+		for _, n := range []int{1, 2, 5, 17, 64} {
+			tr, err := Tree(shape, n, rng)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", shape, n, err)
+			}
+			if tr.N() != n {
+				t.Fatalf("%s n=%d: built %d vertices", shape, n, tr.N())
+			}
+		}
+	}
+	if _, err := Tree("hexagon", 5, rng); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := Tree(Random, 0, rng); err == nil {
+		t.Error("zero vertices accepted")
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := Tree(Star, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(0) != 9 {
+		t.Errorf("star center degree = %d, want 9", tr.Degree(0))
+	}
+}
+
+func TestRandomTreeInstanceRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, err := RandomTreeInstance(TreeConfig{
+		Vertices: 30, Trees: 4, Demands: 25, ProfitRatio: 100,
+		Heights: NarrowHeights, HMin: 0.1, AccessMin: 2, AccessMax: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Trees) != 4 || len(in.Demands) != 25 {
+		t.Fatalf("shape mismatch: %d trees, %d demands", len(in.Trees), len(in.Demands))
+	}
+	pmin, pmax := in.ProfitRange()
+	if pmin < 1-1e-9 || pmax > 100+1e-9 {
+		t.Errorf("profits [%v,%v] outside [1,100]", pmin, pmax)
+	}
+	for _, d := range in.Demands {
+		if d.Height < 0.1-1e-9 || d.Height > 0.5+1e-9 {
+			t.Errorf("narrow height %v outside [0.1,0.5]", d.Height)
+		}
+		if len(d.Access) < 2 || len(d.Access) > 3 {
+			t.Errorf("access size %d outside [2,3]", len(d.Access))
+		}
+	}
+}
+
+func TestMaxDistBoundsEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in, err := RandomTreeInstance(TreeConfig{
+		Vertices: 40, Trees: 1, Demands: 30, MaxDist: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range in.Demands {
+		if dist := in.Trees[0].Dist(d.U, d.V); dist > 3 {
+			t.Errorf("demand (%d,%d) distance %d > 3", d.U, d.V, dist)
+		}
+	}
+}
+
+func TestHeightMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tests := []struct {
+		mix    HeightMix
+		lo, hi float64
+	}{
+		{UnitHeights, 1, 1},
+		{WideHeights, 0.5, 1},
+		{NarrowHeights, 0.05, 0.5},
+		{MixedHeights, 0.05, 1},
+	}
+	for _, tc := range tests {
+		in, err := RandomTreeInstance(TreeConfig{
+			Vertices: 10, Trees: 1, Demands: 40, Heights: tc.mix,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range in.Demands {
+			if d.Height < tc.lo-1e-9 || d.Height > tc.hi+1e-9 {
+				t.Errorf("mix %d: height %v outside [%v,%v]", tc.mix, d.Height, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+func TestRandomLineInstanceRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in, err := RandomLineInstance(LineConfig{
+		Slots: 50, Resources: 3, Demands: 20, ProfitRatio: 10,
+		ProcMin: 2, ProcMax: 6, WindowSlack: 5,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range in.Demands {
+		if d.Proc < 2 || d.Proc > 6 {
+			t.Errorf("proc %d outside [2,6]", d.Proc)
+		}
+		if span := d.Deadline - d.Release + 1; span-d.Proc > 5 {
+			t.Errorf("window slack %d exceeds 5", span-d.Proc)
+		}
+	}
+	insts := in.Expand()
+	if len(insts) < 20 {
+		t.Errorf("expected at least one instance per demand, got %d", len(insts))
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := RandomTreeInstance(TreeConfig{Vertices: 20, Trees: 2, Demands: 10, ProfitRatio: 5},
+		rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTreeInstance(TreeConfig{Vertices: 20, Trees: 2, Demands: 10, ProfitRatio: 5},
+		rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Demands {
+		if a.Demands[i].U != b.Demands[i].U || a.Demands[i].Profit != b.Demands[i].Profit {
+			t.Fatalf("instance generation not deterministic at demand %d", i)
+		}
+	}
+}
+
+func TestProfitLogUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// With ratio 1024, roughly half the mass should be below 32 (the
+	// geometric midpoint). Allow a generous tolerance.
+	below := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if profit(1024, rng) < 32 {
+			below++
+		}
+	}
+	frac := float64(below) / total
+	if math.Abs(frac-0.5) > 0.08 {
+		t.Errorf("log-uniform midpoint fraction = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := RandomTreeInstance(TreeConfig{Vertices: 1, Trees: 1, Demands: 1}, rng); err == nil {
+		t.Error("single-vertex instance accepted (no valid demand endpoints)")
+	}
+	if _, err := RandomTreeInstance(TreeConfig{Vertices: 5, Trees: 0, Demands: 1}, rng); err == nil {
+		t.Error("zero trees accepted")
+	}
+	if _, err := RandomLineInstance(LineConfig{Slots: 0, Resources: 1, Demands: 1}, rng); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	in, err := RandomTreeInstance(TreeConfig{
+		Vertices: 30, Trees: 1, Demands: 100, HotspotFraction: 0.6,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := 0
+	for _, d := range in.Demands {
+		if d.U == 0 || d.V == 0 {
+			hub++
+		}
+	}
+	// At least ~half the demands should touch the hub (0.6 fraction plus
+	// random endpoint collisions).
+	if hub < 45 {
+		t.Errorf("only %d/100 demands touch the hub", hub)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package treesched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	treesched "treesched"
+)
+
+// paperTree builds the Figure 6 example tree on the public API.
+func paperTree(t *testing.T) (*treesched.Instance, int) {
+	t.Helper()
+	inst := treesched.NewInstance(15)
+	tid, err := inst.AddTree([][2]int{
+		{0, 1}, {1, 3}, {1, 4}, {4, 7}, {4, 8}, {7, 12}, {8, 11},
+		{0, 5}, {5, 9}, {5, 10}, {0, 13}, {13, 2}, {2, 6}, {13, 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, tid
+}
+
+func TestSolveUnitTree(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid)) // paper's <4,13>
+	inst.AddDemand(9, 10, 3, treesched.Access(tid)) // disjoint branch
+	inst.AddDemand(6, 14, 2, treesched.Access(tid)) // disjoint branch
+	inst.AddDemand(3, 11, 4, treesched.Access(tid)) // conflicts with <4,13>
+	res, err := treesched.Solve(inst, treesched.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit <= 0 || len(res.Assignments) == 0 {
+		t.Fatalf("empty solution: %+v", res)
+	}
+	// Demands 1 and 2 are conflict-free and must always fit alongside the
+	// better of demands 0/3; optimum is 5+3+2 = 10.
+	if res.DualBound < res.Profit-1e-9 {
+		t.Errorf("dual bound %v below achieved profit %v", res.DualBound, res.Profit)
+	}
+	if res.Guarantee < 1 {
+		t.Errorf("guarantee %v < 1", res.Guarantee)
+	}
+	exact, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.ExactSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Profit-10) > 1e-9 {
+		t.Errorf("exact profit = %v, want 10", exact.Profit)
+	}
+	if res.Profit*res.Guarantee < exact.Profit-1e-9 {
+		t.Errorf("approximation guarantee violated: %v * %v < %v", res.Profit, res.Guarantee, exact.Profit)
+	}
+}
+
+func TestSolveSimulatedMatchesEngine(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid))
+	inst.AddDemand(9, 10, 3, treesched.Access(tid))
+	inst.AddDemand(12, 11, 4, treesched.Access(tid))
+	plain, err := treesched.Solve(inst, treesched.Options{Seed: 7, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := treesched.Solve(inst, treesched.Options{Seed: 7, Epsilon: 0.25, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Profit-sim.Profit) > 1e-9 {
+		t.Fatalf("profits differ: %v vs %v", plain.Profit, sim.Profit)
+	}
+	if sim.Rounds == 0 || sim.Messages == 0 {
+		t.Errorf("simulated run reported no communication: %+v", sim)
+	}
+	if plain.Rounds != 0 {
+		t.Errorf("in-process run should not report rounds")
+	}
+}
+
+func TestSolveArbitraryHeights(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid), treesched.Height(0.4))
+	inst.AddDemand(3, 11, 4, treesched.Access(tid), treesched.Height(0.3))
+	inst.AddDemand(9, 10, 3, treesched.Access(tid), treesched.Height(0.9))
+	res, err := treesched.Solve(inst, treesched.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heights 0.4+0.3 fit together on the shared edges; all three demands
+	// are schedulable, so the optimum is 12.
+	exact, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.ExactSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Profit-12) > 1e-9 {
+		t.Errorf("exact = %v, want 12", exact.Profit)
+	}
+	if res.Profit*res.Guarantee < exact.Profit-1e-9 {
+		t.Errorf("guarantee violated")
+	}
+	if res.DualBound < exact.Profit-1e-6 {
+		t.Errorf("dual bound %v below optimum %v", res.DualBound, exact.Profit)
+	}
+}
+
+func TestSolveSequentialTree(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid))
+	inst.AddDemand(3, 11, 7, treesched.Access(tid))
+	res, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.SequentialTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guarantee != 2 {
+		t.Errorf("single tree sequential guarantee = %v, want 2", res.Guarantee)
+	}
+	if res.Profit < 7-1e-9 {
+		// The two demands conflict; the richer one is worth 7 and a
+		// 2-approximation on this instance must still find 7 (opt = 7,
+		// any maximal solution picks one of them; bound allows 3.5 but
+		// the stack order favors the last-raised, which is the richer).
+		t.Logf("sequential picked profit %v (opt 7)", res.Profit)
+	}
+}
+
+func TestSolveLineWindows(t *testing.T) {
+	// Figure 1's scenario through the public API: A and B overlap, C is
+	// disjoint; heights 0.5/0.7/0.4.
+	line := treesched.NewLineInstance(12, 1)
+	line.AddJob(2, 6, 5, 1, treesched.JobHeight(0.5))
+	line.AddJob(4, 8, 5, 1, treesched.JobHeight(0.7))
+	line.AddJob(9, 12, 4, 1, treesched.JobHeight(0.4))
+	res, err := treesched.SolveLine(line, treesched.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {A,C} or {B,C} are optimal (profit 2); {A,B} is infeasible.
+	exact, err := treesched.SolveLine(line, treesched.Options{Algorithm: treesched.ExactSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Profit-2) > 1e-9 {
+		t.Errorf("exact = %v, want 2", exact.Profit)
+	}
+	if res.Profit*res.Guarantee < exact.Profit-1e-9 {
+		t.Errorf("guarantee violated: %v * %v < %v", res.Profit, res.Guarantee, exact.Profit)
+	}
+	for _, a := range res.Assignments {
+		if a.Start == 0 {
+			t.Errorf("line assignment missing start: %+v", a)
+		}
+	}
+}
+
+func TestSolveLineUnitWindows(t *testing.T) {
+	line := treesched.NewLineInstance(20, 2)
+	line.AddJob(1, 4, 4, 6)
+	line.AddJob(1, 6, 5, 4)
+	line.AddJob(5, 11, 6, 5)
+	line.AddJob(10, 13, 3, 2)
+	res, err := treesched.SolveLine(line, treesched.Options{Seed: 4, Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit <= 0 {
+		t.Fatal("no jobs scheduled on an easy instance")
+	}
+	// With two resources and generous windows, everything fits: opt = 17.
+	exact, err := treesched.SolveLine(line, treesched.Options{Algorithm: treesched.ExactSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Profit-17) > 1e-9 {
+		t.Errorf("exact = %v, want 17", exact.Profit)
+	}
+}
+
+func TestSolveValidationErrors(t *testing.T) {
+	t.Run("too few vertices", func(t *testing.T) {
+		inst := treesched.NewInstance(1)
+		if _, err := inst.AddTree(nil); err == nil {
+			t.Fatal("AddTree on invalid instance succeeded")
+		}
+	})
+	t.Run("demand without trees", func(t *testing.T) {
+		inst := treesched.NewInstance(4)
+		inst.AddDemand(0, 1, 1)
+		if _, err := treesched.Solve(inst, treesched.Options{}); err == nil {
+			t.Fatal("Solve without networks succeeded")
+		}
+	})
+	t.Run("bad edges", func(t *testing.T) {
+		inst := treesched.NewInstance(4)
+		if _, err := inst.AddTree([][2]int{{0, 1}}); err == nil {
+			t.Fatal("non-spanning edge set accepted")
+		}
+	})
+	t.Run("exact too large", func(t *testing.T) {
+		inst := treesched.NewInstance(40)
+		edges := make([][2]int, 0, 39)
+		for v := 1; v < 40; v++ {
+			edges = append(edges, [2]int{v - 1, v})
+		}
+		if _, err := inst.AddTree(edges); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			inst.AddDemand(i%39, i%39+1, 1)
+		}
+		_, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.ExactSmall})
+		if err == nil || !strings.Contains(err.Error(), "at most") {
+			t.Fatalf("want size-limit error, got %v", err)
+		}
+	})
+	t.Run("sequential with heights", func(t *testing.T) {
+		inst, tid := paperTree(t)
+		inst.AddDemand(0, 1, 1, treesched.Access(tid), treesched.Height(0.5))
+		if _, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.SequentialTree}); err == nil {
+			t.Fatal("sequential with fractional heights accepted")
+		}
+	})
+	t.Run("line sequential", func(t *testing.T) {
+		line := treesched.NewLineInstance(5, 1)
+		line.AddJob(1, 3, 2, 1)
+		if _, err := treesched.SolveLine(line, treesched.Options{Algorithm: treesched.SequentialTree}); err == nil {
+			t.Fatal("sequential on line accepted")
+		}
+	})
+}
+
+func TestAutoAlgorithmSelection(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid))
+	unitRes, err := treesched.Solve(inst, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit heights → (∆+1)/(1-ε) guarantee with ∆ ≤ 6: at most 7/0.9.
+	if unitRes.Guarantee > 7/0.9+1e-9 {
+		t.Errorf("unit guarantee = %v, want ≤ %v", unitRes.Guarantee, 7/0.9)
+	}
+
+	inst2, tid2 := paperTree(t)
+	inst2.AddDemand(3, 12, 5, treesched.Access(tid2), treesched.Height(0.25))
+	arbRes, err := treesched.Solve(inst2, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arbRes.Guarantee <= unitRes.Guarantee {
+		t.Errorf("arbitrary-height guarantee %v should exceed unit %v", arbRes.Guarantee, unitRes.Guarantee)
+	}
+}

@@ -1,0 +1,92 @@
+package treesched
+
+import (
+	"fmt"
+
+	"treesched/internal/dual"
+	"treesched/internal/model"
+)
+
+// Verify checks that a Result is a feasible schedule for the instance: every
+// assigned demand exists and uses an accessible network, no demand is
+// scheduled twice, and on every edge of every network the scheduled heights
+// sum to at most 1. It returns nil for feasible results.
+func Verify(in *Instance, res *Result) error {
+	m, err := in.build()
+	if err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(res.Assignments))
+	usage := make(map[model.EdgeKey]float64)
+	for _, a := range res.Assignments {
+		if a.Demand < 0 || a.Demand >= len(m.Demands) {
+			return fmt.Errorf("treesched: assignment references unknown demand %d", a.Demand)
+		}
+		if seen[a.Demand] {
+			return fmt.Errorf("treesched: demand %d assigned twice", a.Demand)
+		}
+		seen[a.Demand] = true
+		d := m.Demands[a.Demand]
+		accessible := false
+		for _, q := range d.Access {
+			if q == a.Network {
+				accessible = true
+				break
+			}
+		}
+		if !accessible {
+			return fmt.Errorf("treesched: demand %d assigned to inaccessible network %d", a.Demand, a.Network)
+		}
+		for _, e := range m.Trees[a.Network].PathEdges(d.U, d.V) {
+			k := model.MakeEdgeKey(a.Network, e)
+			usage[k] += d.Height
+			if usage[k] > 1+dual.Tolerance {
+				return fmt.Errorf("treesched: edge %v over capacity (%.9f)", k, usage[k])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyLine is Verify for line instances: assigned jobs must fit their
+// windows, use accessible resources, and respect slot capacities.
+func VerifyLine(in *LineInstance, res *Result) error {
+	m, err := in.build()
+	if err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(res.Assignments))
+	usage := make(map[model.EdgeKey]float64)
+	for _, a := range res.Assignments {
+		if a.Demand < 0 || a.Demand >= len(m.Demands) {
+			return fmt.Errorf("treesched: assignment references unknown job %d", a.Demand)
+		}
+		if seen[a.Demand] {
+			return fmt.Errorf("treesched: job %d assigned twice", a.Demand)
+		}
+		seen[a.Demand] = true
+		d := m.Demands[a.Demand]
+		if a.Start < d.Release || a.Start+d.Proc-1 > d.Deadline {
+			return fmt.Errorf("treesched: job %d scheduled at %d outside window [%d,%d]",
+				a.Demand, a.Start, d.Release, d.Deadline)
+		}
+		accessible := false
+		for _, q := range d.Access {
+			if q == a.Network {
+				accessible = true
+				break
+			}
+		}
+		if !accessible {
+			return fmt.Errorf("treesched: job %d assigned to inaccessible resource %d", a.Demand, a.Network)
+		}
+		for s := a.Start; s <= a.Start+d.Proc-1; s++ {
+			k := model.MakeEdgeKey(a.Network, s)
+			usage[k] += d.Height
+			if usage[k] > 1+dual.Tolerance {
+				return fmt.Errorf("treesched: slot %v over capacity (%.9f)", k, usage[k])
+			}
+		}
+	}
+	return nil
+}
