@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"treesched/internal/dist"
@@ -72,6 +73,9 @@ func run(path, algorithm string, epsilon float64, seed int64, simulate bool, dec
 			return err
 		}
 		if algorithm == "sequential" {
+			if simulate {
+				return fmt.Errorf("-simulate applies to the distributed algorithms (unit, arbitrary), not %q", algorithm)
+			}
 			return runSequential(in)
 		}
 		items, err = engine.BuildTreeItems(in, dk)
@@ -133,7 +137,13 @@ func run(path, algorithm string, epsilon float64, seed int64, simulate bool, dec
 			return err
 		}
 		printRun(res.Selected, res.Profit, res.Bound, describe)
+		if simulate {
+			return printSimulatedArbitrary(items, cfg, res.Profit)
+		}
 	case "exact":
+		if simulate {
+			return fmt.Errorf("-simulate applies to the distributed algorithms (unit, arbitrary), not %q", algorithm)
+		}
 		if len(items) > seq.BruteForceLimit {
 			return fmt.Errorf("exact solver handles at most %d demand instances, got %d", seq.BruteForceLimit, len(items))
 		}
@@ -173,5 +183,49 @@ func printSimulated(items []engine.Item, cfg engine.Config) error {
 	}
 	fmt.Printf("simulated: %d processors, %d schedule rounds (%d busy), %d messages, max message %d·M\n",
 		res.Processors, res.ScheduleRounds, res.Stats.BusyRounds, res.Stats.Messages, res.Stats.MaxMessageSize)
+	return nil
+}
+
+// printSimulatedArbitrary mirrors the library's distributed arbitrary-height
+// execution (§6 overall algorithm): simulate the wide and narrow
+// sub-protocols separately, combine per resource, and report the summed
+// communication costs. The combined profit must equal the engine's.
+func printSimulatedArbitrary(items []engine.Item, cfg engine.Config, engineProfit float64) error {
+	wide, narrow, wideIDs, narrowIDs := engine.SplitWideNarrow(items)
+	var wideSel, narrowSel []int
+	procs, rounds, busy, msgs, maxMsg := 0, 0, 0, 0, 0
+	for _, sub := range []struct {
+		items []engine.Item
+		mode  engine.Mode
+		sel   *[]int
+	}{
+		{wide, engine.Unit, &wideSel},
+		{narrow, engine.Narrow, &narrowSel},
+	} {
+		if len(sub.items) == 0 {
+			continue
+		}
+		scfg := cfg
+		scfg.Mode = sub.mode
+		scfg.Xi = 0
+		res, err := dist.Run(sub.items, scfg)
+		if err != nil {
+			return err
+		}
+		*sub.sel = res.Selected
+		procs += res.Processors
+		rounds += res.ScheduleRounds
+		busy += res.Stats.BusyRounds
+		msgs += res.Stats.Messages
+		if res.Stats.MaxMessageSize > maxMsg {
+			maxMsg = res.Stats.MaxMessageSize
+		}
+	}
+	_, profit := engine.CombineSelections(wide, narrow, wideSel, narrowSel, wideIDs, narrowIDs)
+	if math.Abs(profit-engineProfit) > 1e-6*math.Max(1, engineProfit) {
+		return fmt.Errorf("internal error: simulated profit %v diverged from engine %v", profit, engineProfit)
+	}
+	fmt.Printf("simulated: %d processors, %d schedule rounds (%d busy), %d messages, max message %d·M\n",
+		procs, rounds, busy, msgs, maxMsg)
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -53,10 +55,95 @@ func TestRunTreeAlgorithms(t *testing.T) {
 	}
 }
 
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ferr != nil {
+		t.Fatalf("run failed: %v (output so far: %q)", ferr, out)
+	}
+	return string(out)
+}
+
 func TestRunTreeSimulated(t *testing.T) {
 	path := writeInstance(t, "tree")
-	if err := run(path, "unit", 0.3, 1, true, "ideal"); err != nil {
-		t.Fatal(err)
+	out := captureStdout(t, func() error {
+		return run(path, "unit", 0.3, 1, true, "ideal")
+	})
+	if !strings.Contains(out, "profit ") {
+		t.Errorf("missing engine result line in output:\n%s", out)
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "simulated:") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("missing printSimulated line in output:\n%s", out)
+	}
+	for _, want := range []string{"processors", "schedule rounds", "busy", "messages", "max message"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("simulated line missing %q: %s", want, line)
+		}
+	}
+	var procs, schedRounds, busy, msgs, maxMsg int
+	if _, err := fmt.Sscanf(line, "simulated: %d processors, %d schedule rounds (%d busy), %d messages, max message %d",
+		&procs, &schedRounds, &busy, &msgs, &maxMsg); err != nil {
+		t.Fatalf("unparseable simulated line %q: %v", line, err)
+	}
+	if procs <= 0 || schedRounds <= 0 || busy <= 0 || msgs <= 0 || maxMsg <= 0 {
+		t.Errorf("degenerate simulated stats: %s", line)
+	}
+	if busy > schedRounds {
+		t.Errorf("busy rounds %d exceed schedule rounds %d", busy, schedRounds)
+	}
+}
+
+// TestRunLineSimulated covers the -simulate path on the §7 line reduction.
+func TestRunLineSimulated(t *testing.T) {
+	path := writeInstance(t, "line")
+	out := captureStdout(t, func() error {
+		return run(path, "unit", 0.3, 1, true, "ideal")
+	})
+	if !strings.Contains(out, "simulated:") {
+		t.Errorf("missing simulated line:\n%s", out)
+	}
+}
+
+// TestRunArbitrarySimulated covers -simulate on the §6 wide/narrow split.
+func TestRunArbitrarySimulated(t *testing.T) {
+	path := writeInstance(t, "tree")
+	out := captureStdout(t, func() error {
+		return run(path, "arbitrary", 0.3, 1, true, "ideal")
+	})
+	if !strings.Contains(out, "simulated:") {
+		t.Fatalf("missing simulated line for arbitrary algorithm:\n%s", out)
+	}
+}
+
+// TestRunSimulateRejectedForNonDistributed: -simulate with the sequential or
+// exact baselines is an error, not a silent no-op.
+func TestRunSimulateRejectedForNonDistributed(t *testing.T) {
+	path := writeInstance(t, "tree")
+	for _, algo := range []string{"sequential", "exact"} {
+		err := run(path, algo, 0.1, 1, true, "ideal")
+		if err == nil || !strings.Contains(err.Error(), "-simulate") {
+			t.Errorf("algorithm %s with -simulate: got %v, want rejection", algo, err)
+		}
 	}
 }
 

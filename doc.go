@@ -29,4 +29,32 @@
 //	res, err := treesched.Solve(inst, treesched.Options{Epsilon: 0.1, Seed: 1})
 //	// res.Assignments: which demands run on which networks
 //	// res.DualBound:   certified upper bound on the optimum
+//
+// # The Simulate execution path
+//
+// By default Solve runs the in-process engine (internal/engine): fast, but
+// with only estimated communication costs. Setting Options.Simulate routes
+// the distributed algorithms through internal/dist instead, which executes
+// the same protocol over the synchronous message-passing simulator of
+// internal/simnet — one goroutine per processor, one processor per demand.
+// Each processor derives the fixed epoch/stage/step schedule of Figure 7
+// locally from common knowledge (the engine.Plan) and runs Luby-MIS step
+// elections over real messages. Both executions funnel every dual mutation
+// through the shared protocol core (engine.Core) and draw priorities from
+// identical per-processor PRNG streams, so the simulated run returns
+// bit-identical selections and profit — Simulate changes what is measured,
+// never what is computed. For arbitrary heights, the wide and narrow
+// sub-protocols are simulated separately and combined per resource (§6).
+//
+// # Round accounting
+//
+// With Simulate set, Result.Rounds / Messages / MaxMessageSize report
+// honest costs. Rounds counts the full fixed synchronous schedule,
+// 1 + T·(2B+1) rounds for T = epochs·stages·stepCap steps and Luby budget
+// B = O(log N) — the quantity the round bounds of Theorems 5.3/7.1 speak
+// about, independent of how much of the schedule was actually busy. The
+// simulator fast-forwards idle rounds (no processor would send or mutate
+// state) but still counts them; internal/dist's Stats.BusyRounds exposes
+// the rounds that moved messages, and experiment E12 tabulates the
+// decomposition.
 package treesched

@@ -1,0 +1,3 @@
+module treesched
+
+go 1.24.0

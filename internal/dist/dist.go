@@ -1,0 +1,199 @@
+// Package dist executes the paper's distributed algorithm over the
+// synchronous message-passing simulator of package simnet: one processor
+// per demand, run as its own goroutine, following the fixed
+// epoch/stage/step schedule of Figure 7 with Luby-MIS step elections.
+//
+// # Shared protocol core
+//
+// The protocol logic itself — dual raises, LHS coefficients, threshold
+// checks, the β-replay of announced raises, and the phase-2 greedy pop —
+// lives in engine's processor-local Core (engine.Core, engine.BetaGain,
+// engine.SelectGreedy). Both the in-process engine and the nodes here
+// funnel every dual mutation and every satisfaction test through that one
+// implementation, and both draw Luby priorities from identical per-owner
+// PRNG streams (engine.OwnerSeed) in identical order, so for the same
+// (items, Config) the two executions are bit-identical: same raises, same
+// δ values, same elections, same Selected set, same Profit. Experiment A3
+// and the package's equivalence tests assert exactly this.
+//
+// # Fixed synchronous schedule
+//
+// Every processor derives the schedule locally from common knowledge (the
+// engine.Plan: ε, ∆, thresholds, step cap, number of epochs — quantities
+// the paper assumes are globally known): round 0 is a setup broadcast in
+// which each processor describes its demand instances to the processors it
+// conflicts with; then each of the T = MaxGroup·Stages·StepCap steps
+// occupies exactly 2B+1 rounds, where B = LubyBudgetFor(n) is the per-step
+// Luby iteration budget — two rounds per election iteration (exchange
+// draws; announce winners and their raises) plus one settle round in which
+// the final announcements land. The schedule length is therefore
+// 1 + T·(2B+1) rounds (ScheduleRounds), independent of the input's
+// randomness.
+//
+// # Round accounting
+//
+// ScheduleRounds is the honest synchronous-round cost: the full fixed
+// schedule every processor sits through, matching the round bounds of
+// Theorems 5.3/7.1. Stats.Rounds equals it — the simulator counts every
+// scheduled round, including the idle ones it fast-forwards over
+// (Stats.SkippedRounds) because no processor would send or mutate state in
+// them. Stats.BusyRounds counts only rounds that actually moved a message,
+// and is the interesting "how much of the schedule was live" measure
+// reported by experiment E12.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"treesched/internal/engine"
+	"treesched/internal/simnet"
+)
+
+// Result reports a distributed run.
+type Result struct {
+	Selected []int   // item IDs chosen by the second phase, ascending
+	Profit   float64 // Σ profit of selected items
+
+	Stats          simnet.Stats // honest communication costs
+	Processors     int          // number of processor nodes (= demands with items)
+	ScheduleRounds int          // fixed schedule length 1 + T·(2B+1)
+	Plan           *engine.Plan // the locally-derived schedule
+	LubyBudget     int          // B, per-step Luby iteration budget
+}
+
+// Run executes the protocol over the simulator and returns the selection,
+// which is bit-identical to engine.Run's for the same items and Config.
+func Run(items []engine.Item, cfg engine.Config) (*Result, error) {
+	plan, err := engine.PlanFor(items, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MIS != engine.LubyMIS {
+		return nil, fmt.Errorf("dist: only the Luby MIS subroutine has a distributed implementation")
+	}
+	budget := LubyBudgetFor(len(items))
+	res := &Result{Plan: plan, LubyBudget: budget, ScheduleRounds: ScheduleLength(plan.TotalSteps(), budget)}
+	if len(items) == 0 {
+		res.ScheduleRounds = 1
+		return res, nil
+	}
+
+	nodes, owners, err := buildNodes(items, cfg, plan, budget)
+	if err != nil {
+		return nil, err
+	}
+	res.Processors = len(nodes)
+	topology := buildTopology(items, owners, len(nodes))
+	for i, nbrs := range topology {
+		nodes[i].neighbors = nbrs
+	}
+
+	simNodes := make([]simnet.Node, len(nodes))
+	for i, n := range nodes {
+		simNodes[i] = n
+	}
+	nw, err := simnet.New(simNodes, topology)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := nw.Run(res.ScheduleRounds + 2)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+
+	res.Selected, res.Profit = assemble(items, cfg.Mode, nodes)
+	return res, nil
+}
+
+// buildNodes groups the items by owning processor (ascending owner id) and
+// constructs one node per processor. The paper's model has exactly one
+// processor per demand and one demand per processor (§2); items violating
+// either direction are rejected — the nodes' conflict bookkeeping assumes
+// the bijection, and silently accepting other inputs would break the
+// bit-identical mirror of engine.Run.
+func buildNodes(items []engine.Item, cfg engine.Config, plan *engine.Plan, budget int) ([]*node, map[int]int, error) {
+	demandOwner := make(map[int]int)
+	ownerDemand := make(map[int]int)
+	byOwner := make(map[int][]engine.Item)
+	for _, it := range items {
+		if prev, ok := demandOwner[it.Demand]; ok && prev != it.Owner {
+			return nil, nil, fmt.Errorf("dist: demand %d owned by both processor %d and %d", it.Demand, prev, it.Owner)
+		}
+		if prev, ok := ownerDemand[it.Owner]; ok && prev != it.Demand {
+			return nil, nil, fmt.Errorf("dist: processor %d owns both demand %d and %d; the model has one demand per processor", it.Owner, prev, it.Demand)
+		}
+		demandOwner[it.Demand] = it.Owner
+		ownerDemand[it.Owner] = it.Demand
+		byOwner[it.Owner] = append(byOwner[it.Owner], it)
+	}
+	ownerIDs := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		ownerIDs = append(ownerIDs, o)
+	}
+	sort.Ints(ownerIDs)
+	owners := make(map[int]int, len(ownerIDs)) // owner id -> node index
+	nodes := make([]*node, len(ownerIDs))
+	for i, o := range ownerIDs {
+		owners[o] = i
+		own := byOwner[o]
+		sort.Slice(own, func(a, b int) bool { return own[a].ID < own[b].ID })
+		nodes[i] = newNode(i, own, cfg, plan, budget)
+	}
+	return nodes, owners, nil
+}
+
+// buildTopology connects two processors iff they hold conflicting items
+// (the §2 conflict graph projected onto processors): exactly the pairs that
+// ever need to exchange draws or raise announcements.
+func buildTopology(items []engine.Item, owners map[int]int, n int) [][]int {
+	adjSet := make([]map[int]bool, n)
+	for i := range adjSet {
+		adjSet[i] = make(map[int]bool)
+	}
+	conflicts := engine.BuildConflicts(items)
+	for v := range conflicts {
+		a := owners[items[v].Owner]
+		for _, w := range conflicts[v] {
+			b := owners[items[w].Owner]
+			if a != b {
+				adjSet[a][b] = true
+				adjSet[b][a] = true
+			}
+		}
+	}
+	topology := make([][]int, n)
+	for i, set := range adjSet {
+		lst := make([]int, 0, len(set))
+		for j := range set {
+			lst = append(lst, j)
+		}
+		sort.Ints(lst)
+		topology[i] = lst
+	}
+	return topology
+}
+
+// assemble reconstructs the global raise history from the nodes' local logs
+// — ordered by flat step index, item ids ascending within a step, exactly
+// the stack the engine pushes — and runs the shared second phase over it.
+func assemble(items []engine.Item, mode engine.Mode, nodes []*node) ([]int, float64) {
+	byStep := make(map[int][]int)
+	for _, n := range nodes {
+		for _, r := range n.raises {
+			byStep[r.Step] = append(byStep[r.Step], r.Item)
+		}
+	}
+	stepIDs := make([]int, 0, len(byStep))
+	for t := range byStep {
+		stepIDs = append(stepIDs, t)
+	}
+	sort.Ints(stepIDs)
+	steps := make([][]int, len(stepIDs))
+	for i, t := range stepIDs {
+		sort.Ints(byStep[t])
+		steps[i] = byStep[t]
+	}
+	return engine.SelectGreedy(items, mode, steps)
+}

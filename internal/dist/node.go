@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"treesched/internal/engine"
+	"treesched/internal/model"
+	"treesched/internal/simnet"
+)
+
+// raiseRecord is one phase-1 raise performed by a node, stamped with the
+// flat step index of the fixed schedule so the coordinator can reassemble
+// the global raise history in schedule order.
+type raiseRecord struct {
+	Step  int
+	Item  int
+	Delta float64
+}
+
+// node is one processor of the distributed algorithm. It owns the demand
+// instances of a single demand, runs as its own goroutine under simnet, and
+// derives every scheduling decision from the common-knowledge Plan plus the
+// messages it receives: round r's position in the fixed schedule is a pure
+// function of r, so no termination detection or coordinator hints are
+// needed.
+type node struct {
+	id         int // node index in the simnet network
+	plan       *engine.Plan
+	mode       engine.Mode
+	budget     int // B: Luby iterations per step
+	period     int // 2B+1 rounds per step
+	totalSteps int // T
+	lastRound  int // ScheduleLength-1
+	items      []engine.Item // own items, ascending by ID
+	neighbors  []int         // topology neighbor node ids, sorted
+	core       *engine.Core  // own α plus local β copies
+	rng        *rand.Rand
+
+	// learned from round-0 setup descriptors
+	remoteDesc  map[int]itemDesc     // remote item id -> descriptor
+	remoteOwner map[int]int          // remote item id -> node id
+	conflicts   map[int]map[int]bool // own item id -> conflicting item ids
+	targets     map[int][]int        // own item id -> interested neighbor node ids
+	setupBuilt  bool
+
+	// per-step election state
+	live        []int           // own live item ids, ascending
+	drawn       map[int]float64 // own draws, current iteration
+	remoteDraws map[int]float64 // remote draws received, current iteration
+
+	raises []raiseRecord
+	done   bool
+}
+
+func newNode(id int, items []engine.Item, cfg engine.Config, plan *engine.Plan, budget int) *node {
+	n := &node{
+		id:          id,
+		plan:        plan,
+		mode:        cfg.Mode,
+		budget:      budget,
+		period:      2*budget + 1,
+		totalSteps:  plan.TotalSteps(),
+		items:       items,
+		core:        engine.NewCore(cfg.Mode),
+		remoteDesc:  make(map[int]itemDesc),
+		remoteOwner: make(map[int]int),
+		drawn:       make(map[int]float64),
+		remoteDraws: make(map[int]float64),
+	}
+	n.lastRound = ScheduleLength(n.totalSteps, budget) - 1
+	// Every processor seeds its PRNG stream from the shared run seed and its
+	// own identity (the demand id), exactly as the engine derives per-owner
+	// streams, so draws coincide.
+	n.rng = rand.New(rand.NewSource(engine.OwnerSeed(cfg.Seed, items[0].Owner)))
+	return n
+}
+
+// Round implements simnet.Node.
+func (n *node) Round(round int, inbox []simnet.Message) []simnet.Message {
+	if round == 0 {
+		return n.sendSetup()
+	}
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case *setupPayload:
+			for _, d := range p.Items {
+				n.remoteDesc[d.Item] = d
+				n.remoteOwner[d.Item] = m.From
+			}
+		case *drawPayload:
+			for _, d := range p.Draws {
+				n.remoteDraws[d.Item] = d.Priority
+			}
+		case *raisePayload:
+			n.absorbRaises(p)
+		}
+	}
+	if !n.setupBuilt {
+		n.buildConflicts()
+	}
+
+	var out []simnet.Message
+	pos := round - 1
+	if t := pos / n.period; t < n.totalSteps {
+		switch rel := pos % n.period; {
+		case rel == n.period-1: // settle: final announcements landed above
+			if len(n.live) > 0 {
+				panic(fmt.Sprintf("dist: node %d: step %d: %d items still live after Luby budget %d; raise LubyBudgetFor",
+					n.id, t, len(n.live), n.budget))
+			}
+		case rel%2 == 0: // draw sub-round of Luby iteration rel/2
+			if rel == 0 {
+				n.beginStep(t)
+			}
+			out = n.sendDraws()
+		default: // announce sub-round: elect winners, raise, announce
+			out = n.electAndRaise(t)
+		}
+	}
+	if round >= n.lastRound {
+		n.finalCheck()
+		n.done = true
+	}
+	return out
+}
+
+// Done implements simnet.Node: a node is done once it has executed the
+// final round of the fixed schedule.
+func (n *node) Done() bool { return n.done }
+
+// NextActiveRound implements simnet.FastForwarder: with no messages in
+// flight the dual state is frozen, so the node can compute the next round
+// at which it would act spontaneously — the next sub-round of an election
+// it is still part of, else the first step of a future (epoch, stage) for
+// which it holds an unsatisfied item, else the schedule's final round
+// (where it must wake to terminate).
+func (n *node) NextActiveRound(now int) int {
+	if n.done {
+		return -1
+	}
+	if len(n.live) > 0 {
+		return now + 1
+	}
+	t := 0
+	if now >= 1 {
+		t = (now-1)/n.period + 1 // first step starting strictly after now
+	}
+	for t < n.totalSteps {
+		epoch, _, iter, thresh := n.plan.StepAt(t)
+		if n.hasUnsatisfied(epoch, thresh) {
+			return 1 + t*n.period
+		}
+		t += n.plan.StepCap - iter // state is frozen: skip the rest of the stage
+	}
+	if n.lastRound > now {
+		return n.lastRound
+	}
+	return now + 1
+}
+
+func (n *node) hasUnsatisfied(epoch int, thresh float64) bool {
+	for i := range n.items {
+		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.items[i], thresh) {
+			return true
+		}
+	}
+	return false
+}
+
+// sendSetup broadcasts the node's item descriptors to its topology
+// neighbors in round 0.
+func (n *node) sendSetup() []simnet.Message {
+	if len(n.neighbors) == 0 {
+		return nil
+	}
+	descs := make([]itemDesc, len(n.items))
+	for i := range n.items {
+		it := &n.items[i]
+		descs[i] = itemDesc{Item: it.ID, Demand: it.Demand, Edges: it.Edges, Critical: it.Critical}
+	}
+	return simnet.Broadcast(n.id, n.neighbors, &setupPayload{Items: descs})
+}
+
+// buildConflicts derives, from the setup descriptors, each own item's
+// conflict set (shared demand or shared path edge) and the neighbors
+// interested in its draws and raises.
+func (n *node) buildConflicts() {
+	n.setupBuilt = true
+	n.conflicts = make(map[int]map[int]bool, len(n.items))
+	n.targets = make(map[int][]int, len(n.items))
+	for i := range n.items {
+		n.conflicts[n.items[i].ID] = make(map[int]bool)
+	}
+	// Own items always share the demand, hence mutually conflict.
+	for i := range n.items {
+		for j := range n.items {
+			if i != j {
+				n.conflicts[n.items[i].ID][n.items[j].ID] = true
+			}
+		}
+	}
+	ownEdges := make(map[model.EdgeKey][]int)
+	for i := range n.items {
+		for _, e := range n.items[i].Edges {
+			ownEdges[e] = append(ownEdges[e], n.items[i].ID)
+		}
+	}
+	for rid, d := range n.remoteDesc {
+		seen := make(map[int]bool)
+		if d.Demand == n.items[0].Demand {
+			for i := range n.items {
+				seen[n.items[i].ID] = true
+			}
+		}
+		for _, e := range d.Edges {
+			for _, own := range ownEdges[e] {
+				seen[own] = true
+			}
+		}
+		for own := range seen {
+			n.conflicts[own][rid] = true
+		}
+	}
+	for _, it := range n.items {
+		nodes := make(map[int]bool)
+		for w := range n.conflicts[it.ID] {
+			if owner, ok := n.remoteOwner[w]; ok {
+				nodes[owner] = true
+			}
+		}
+		tg := make([]int, 0, len(nodes))
+		for id := range nodes {
+			tg = append(tg, id)
+		}
+		sort.Ints(tg)
+		n.targets[it.ID] = tg
+	}
+}
+
+// beginStep computes the node's live set for step t: its items in the
+// step's epoch whose dual constraints miss the stage threshold. Crossing a
+// stage boundary, it first asserts the invariant the engine enforces with
+// its step loop: the previous stage must have satisfied all of the node's
+// items in its epoch before running out of step slots (Lemma 5.1's cap).
+// A node holding a violating item is guaranteed to execute this round: the
+// item is also unsatisfied at the new, higher threshold, so NextActiveRound
+// names exactly this step start. Epoch boundaries are covered by finalCheck.
+func (n *node) beginStep(t int) {
+	epoch, stage, _, thresh := n.plan.StepAt(t)
+	if t > 0 {
+		pEpoch, pStage, _, pThresh := n.plan.StepAt(t - 1)
+		if pEpoch == epoch && pStage != stage && n.hasUnsatisfied(pEpoch, pThresh) {
+			panic(fmt.Sprintf("dist: node %d: epoch %d stage %d exhausted %d steps with items unsatisfied; Lemma 5.1 cap violated",
+				n.id, pEpoch, pStage, n.plan.StepCap))
+		}
+	}
+	n.live = n.live[:0]
+	for i := range n.items {
+		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.items[i], thresh) {
+			n.live = append(n.live, n.items[i].ID)
+		}
+	}
+}
+
+// sendDraws draws a fresh priority for every live item (ascending item
+// order, matching the engine's draw schedule) and sends each draw to the
+// neighbors owning a conflicting item.
+func (n *node) sendDraws() []simnet.Message {
+	n.remoteDraws = make(map[int]float64)
+	if len(n.live) == 0 {
+		return nil
+	}
+	n.drawn = make(map[int]float64, len(n.live))
+	entries := make(map[int][]drawEntry)
+	for _, id := range n.live {
+		pr := n.rng.Float64()
+		n.drawn[id] = pr
+		for _, to := range n.targets[id] {
+			entries[to] = append(entries[to], drawEntry{Item: id, Priority: pr})
+		}
+	}
+	return n.packMessages(entries, nil)
+}
+
+// electAndRaise decides, for each live item, whether it won this Luby
+// iteration (it beats every live conflicting item by priority, ties broken
+// by item id — the engine's rule verbatim), performs the winners' raises
+// through the shared protocol core, and announces them.
+func (n *node) electAndRaise(t int) []simnet.Message {
+	if len(n.live) == 0 {
+		return nil
+	}
+	liveOwn := make(map[int]bool, len(n.live))
+	for _, id := range n.live {
+		liveOwn[id] = true
+	}
+	var winners []int
+	for _, x := range n.live {
+		px := n.drawn[x]
+		wins := true
+		for w := range n.conflicts[x] {
+			var pw float64
+			if liveOwn[w] {
+				pw = n.drawn[w]
+			} else if p, ok := n.remoteDraws[w]; ok {
+				pw = p
+			} else {
+				continue // not live this iteration
+			}
+			if pw < px || (pw == px && w < x) {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			winners = append(winners, x)
+		}
+	}
+	if len(winners) == 0 {
+		return nil
+	}
+	eliminated := make(map[int]bool)
+	entries := make(map[int][]raiseEntry)
+	for _, x := range winners {
+		delta := n.core.Raise(n.itemByID(x))
+		n.raises = append(n.raises, raiseRecord{Step: t, Item: x, Delta: delta})
+		eliminated[x] = true
+		for w := range n.conflicts[x] {
+			if liveOwn[w] {
+				eliminated[w] = true
+			}
+		}
+		for _, to := range n.targets[x] {
+			entries[to] = append(entries[to], raiseEntry{Item: x, Delta: delta})
+		}
+	}
+	kept := n.live[:0]
+	for _, id := range n.live {
+		if !eliminated[id] {
+			kept = append(kept, id)
+		}
+	}
+	n.live = kept
+	return n.packMessages(nil, entries)
+}
+
+// absorbRaises replays remote raises: β copies gain exactly what the raiser
+// added (via the shared BetaGain rule), and live items conflicting with the
+// raised item leave the current election.
+func (n *node) absorbRaises(p *raisePayload) {
+	for _, r := range p.Raises {
+		d, ok := n.remoteDesc[r.Item]
+		if !ok {
+			panic(fmt.Sprintf("dist: node %d: raise announcement for unknown item %d", n.id, r.Item))
+		}
+		n.core.ApplyRaise(d.Critical, r.Delta)
+		if len(n.live) == 0 {
+			continue
+		}
+		kept := n.live[:0]
+		for _, id := range n.live {
+			if !n.conflicts[id][r.Item] {
+				kept = append(kept, id)
+			}
+		}
+		n.live = kept
+	}
+}
+
+// packMessages folds per-neighbor entry lists into at most one message per
+// neighbor, in ascending neighbor order.
+func (n *node) packMessages(draws map[int][]drawEntry, raises map[int][]raiseEntry) []simnet.Message {
+	var out []simnet.Message
+	for _, to := range n.neighbors {
+		if ds, ok := draws[to]; ok {
+			out = append(out, simnet.Message{From: n.id, To: to, Payload: &drawPayload{Draws: ds}})
+		}
+		if rs, ok := raises[to]; ok {
+			out = append(out, simnet.Message{From: n.id, To: to, Payload: &raisePayload{Raises: rs}})
+		}
+	}
+	return out
+}
+
+func (n *node) itemByID(id int) *engine.Item {
+	for i := range n.items {
+		if n.items[i].ID == id {
+			return &n.items[i]
+		}
+	}
+	panic(fmt.Sprintf("dist: node %d does not own item %d", n.id, id))
+}
+
+// finalCheck asserts, at the end of the schedule, the invariant the engine
+// enforces stage by stage: every item is satisfied at its epoch's final
+// threshold. A violation means a stage ran out of step slots — the same
+// condition the engine reports as a Lemma 5.1 cap violation.
+func (n *node) finalCheck() {
+	if n.plan.Stages == 0 {
+		return
+	}
+	thresh := n.plan.Thresholds[n.plan.Stages-1]
+	for i := range n.items {
+		if n.core.Unsatisfied(&n.items[i], thresh) {
+			panic(fmt.Sprintf("dist: node %d: item %d unsatisfied at final threshold %.6f; step cap exceeded",
+				n.id, n.items[i].ID, thresh))
+		}
+	}
+}

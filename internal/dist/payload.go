@@ -1,0 +1,59 @@
+package dist
+
+import "treesched/internal/model"
+
+// Message payloads. Sizes are reported in units of M, the number of bits
+// needed to encode one demand (§5 "Distributed Implementation"): a setup
+// descriptor carries one demand instance per entry, and draw/raise entries
+// are a constant number of words each, so every payload's Size is its entry
+// count and the largest message any processor ever sends is its own setup
+// descriptor list (at most one entry per accessible network).
+
+// itemDesc describes one demand instance to the processors it conflicts
+// with: enough for them to detect conflicts (shared demand or shared path
+// edge) and to replay β-updates for its critical set.
+type itemDesc struct {
+	Item     int
+	Demand   int
+	Edges    []model.EdgeKey
+	Critical []model.EdgeKey
+}
+
+// setupPayload is broadcast once, in round 0, to every topology neighbor.
+type setupPayload struct {
+	Items []itemDesc
+}
+
+func (p *setupPayload) Size() int { return len(p.Items) }
+
+// drawEntry is one Luby priority draw for a live item.
+type drawEntry struct {
+	Item     int
+	Priority float64
+}
+
+// drawPayload carries the sender's draws for the live items that conflict
+// with some item of the receiver. Receiving a draw for an item is also how
+// a processor learns that item is still live this iteration.
+type drawPayload struct {
+	Draws []drawEntry
+}
+
+func (p *drawPayload) Size() int { return len(p.Draws) }
+
+// raiseEntry announces that the sender raised an item by δ. Receivers
+// already know the item's critical set from setup, so δ alone suffices to
+// replay the β-update; the announcement also eliminates the receiver's
+// conflicting items from the current step's elections.
+type raiseEntry struct {
+	Item  int
+	Delta float64
+}
+
+// raisePayload carries the sender's winner announcements of one Luby
+// iteration.
+type raisePayload struct {
+	Raises []raiseEntry
+}
+
+func (p *raisePayload) Size() int { return len(p.Raises) }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"treesched/internal/dual"
+	"treesched/internal/model"
+)
+
+// Core is the processor-local protocol core: the raise/settle rules of the
+// two-phase framework factored out of the run loop so that the in-process
+// engine and the message-passing nodes of package dist execute the exact
+// same floating-point operations. A Core holds a dual assignment scoped to
+// whatever its owner can see — the engine owns a single global Core, while
+// each dist node owns a Core tracking its own α-variables plus local copies
+// of the β-variables on its items' paths — and exposes:
+//
+//   - Coeff: the LHS coefficient of an item's dual constraint (1 in the
+//     unit-height LP, h(d) in the arbitrary-height LP);
+//   - Unsatisfied: the stage-threshold test driving step participation;
+//   - Raise: the mode-dispatched raise rule (§3.2 unit / §6.1 narrow),
+//     updating α and β locally;
+//   - ApplyRaise: the β-only replay of a raise announced by another
+//     processor, using BetaGain so remote copies stay bit-identical to the
+//     raiser's own update.
+//
+// Because both executions funnel every dual mutation through these four
+// entry points, they cannot drift: equality of the inputs (items, Config,
+// seed) implies bitwise equality of every dual variable, every satisfaction
+// test, and hence every selection.
+type Core struct {
+	Mode Mode
+	Dual *dual.Assignment
+}
+
+// NewCore returns a core with an empty dual assignment.
+func NewCore(mode Mode) *Core {
+	return &Core{Mode: mode, Dual: dual.New()}
+}
+
+// Coeff returns the item's LHS coefficient: 1 under the unit rule, the
+// item's height under the narrow rule.
+func (c *Core) Coeff(it *Item) float64 {
+	if c.Mode == Narrow {
+		return it.Height
+	}
+	return 1
+}
+
+// Unsatisfied reports whether the item's dual constraint is not yet
+// thresh-satisfied: α(a_d) + coeff·Σ_{e∈path} β(e) < thresh·p(d).
+func (c *Core) Unsatisfied(it *Item, thresh float64) bool {
+	return !c.Dual.Satisfied(it.Demand, c.Coeff(it), it.Edges, thresh, it.Profit)
+}
+
+// Raise performs the mode's raise rule on the item and returns δ. The
+// owner's α and the β of the item's critical edges are updated in place;
+// the constraint becomes tight.
+func (c *Core) Raise(it *Item) float64 {
+	if c.Mode == Narrow {
+		return c.Dual.RaiseNarrow(it.Demand, it.Profit, it.Height, it.Edges, it.Critical)
+	}
+	return c.Dual.RaiseUnit(it.Demand, it.Profit, it.Edges, it.Critical)
+}
+
+// ApplyRaise replays a raise of δ announced by another processor whose
+// item has the given critical set: β(e) += BetaGain for each critical edge.
+// The raiser's α is private to its owner and is not tracked.
+func (c *Core) ApplyRaise(critical []model.EdgeKey, delta float64) {
+	g := BetaGain(c.Mode, len(critical), delta)
+	for _, e := range critical {
+		c.Dual.Beta[e] += g
+	}
+}
+
+// BetaGain returns the per-critical-edge β increment of a raise of δ: δ
+// under the unit rule, 2|π|δ under the narrow rule. It mirrors the
+// increments of dual.RaiseUnit and dual.RaiseNarrow exactly so that remote
+// β copies match the raiser's bitwise.
+func BetaGain(mode Mode, criticalLen int, delta float64) float64 {
+	if mode == Narrow {
+		return 2 * float64(criticalLen) * delta
+	}
+	return delta
+}
+
+// ConstraintViews builds the dual-constraint views of the items under the
+// core's mode, for Lambda/Bound computation.
+func (c *Core) ConstraintViews(items []Item) []dual.ConstraintView {
+	cons := make([]dual.ConstraintView, len(items))
+	for i := range items {
+		cons[i] = dual.ConstraintView{
+			Demand: items[i].Demand,
+			Coeff:  c.Coeff(&items[i]),
+			Profit: items[i].Profit,
+			Path:   items[i].Edges,
+		}
+	}
+	return cons
+}
+
+// SelectGreedy is the shared second phase: pop the phase-1 raise history
+// (last step first, item ids ascending within a step) and greedily build the
+// feasible solution — an item is added if its demand is unused and every
+// path edge retains capacity (edge-disjointness under the unit rule, height
+// sums ≤ 1 under the narrow rule). steps lists the raised item ids of each
+// phase-1 step in execution order. Both the engine and the dist runtime
+// reconstruct their selections through this one function, so identical raise
+// histories yield identical selections and profit.
+func SelectGreedy(items []Item, mode Mode, steps [][]int) (selected []int, profit float64) {
+	usedDemand := make(map[int]bool)
+	usage := make(map[model.EdgeKey]float64)
+	for s := len(steps) - 1; s >= 0; s-- {
+		for _, id := range steps[s] {
+			it := &items[id]
+			if usedDemand[it.Demand] {
+				continue
+			}
+			need := it.Height
+			if mode == Unit {
+				need = 1 // unit rule schedules edge-disjointly even for wide h<1
+			}
+			ok := true
+			for _, e := range it.Edges {
+				if usage[e]+need > 1+dual.Tolerance {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			usedDemand[it.Demand] = true
+			for _, e := range it.Edges {
+				usage[e] += need
+			}
+			selected = append(selected, id)
+			profit += it.Profit
+		}
+	}
+	sortInts(selected)
+	return selected, profit
+}
+
+// TotalSteps returns T, the number of steps in the fixed synchronous
+// schedule: one step per (epoch, stage, step-slot) triple.
+func (p *Plan) TotalSteps() int {
+	return p.MaxGroup * p.Stages * p.StepCap
+}
+
+// StepAt maps a flat step index t ∈ [0, TotalSteps) to its schedule
+// position: epoch (1-based), stage (1-based), iter (0-based step slot within
+// the stage) and the stage's satisfaction threshold.
+func (p *Plan) StepAt(t int) (epoch, stage, iter int, thresh float64) {
+	perEpoch := p.Stages * p.StepCap
+	epoch = t/perEpoch + 1
+	rem := t % perEpoch
+	stage = rem/p.StepCap + 1
+	iter = rem % p.StepCap
+	return epoch, stage, iter, p.Thresholds[stage-1]
+}

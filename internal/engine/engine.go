@@ -122,14 +122,15 @@ type Result struct {
 	Trace *Trace // nil unless Config.RecordTrace
 }
 
-// state is the mutable run state shared by the phases.
+// state is the mutable run state shared by the phases. The dual raises,
+// coefficient handling and threshold checks live in the shared Core so the
+// in-process run and the dist protocol cannot drift.
 type state struct {
 	items []Item
 	cfg   Config
 	plan  *Plan
 	adj   [][]int // conflict adjacency over items
-	dual  *dual.Assignment
-	coeff []float64 // LHS coefficient per item: 1 (unit) or h (narrow)
+	core  *Core
 	owner []int
 	rngs  map[int]*rand.Rand
 	stack []step
@@ -202,41 +203,27 @@ func Run(items []Item, cfg Config) (*Result, error) {
 		cfg:   cfg,
 		plan:  plan,
 		adj:   BuildConflicts(items),
-		dual:  dual.New(),
+		core:  NewCore(cfg.Mode),
 		rngs:  make(map[int]*rand.Rand),
 	}
-	st.coeff = make([]float64, len(items))
 	st.owner = make([]int, len(items))
 	for i := range items {
-		st.coeff[i] = 1
-		if cfg.Mode == Narrow {
-			st.coeff[i] = items[i].Height
-		}
 		st.owner[i] = items[i].Owner
 	}
 	if cfg.RecordTrace {
 		st.trace = &Trace{}
 	}
 
-	res := &Result{Dual: st.dual, Trace: st.trace}
+	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	res.Delta = MaxCritical(items)
 	if err := st.firstPhase(res); err != nil {
 		return nil, err
 	}
 	st.secondPhase(res)
 
-	cons := make([]dual.ConstraintView, len(items))
-	for i := range items {
-		cons[i] = dual.ConstraintView{
-			Demand: items[i].Demand,
-			Coeff:  st.coeff[i],
-			Profit: items[i].Profit,
-			Path:   items[i].Edges,
-		}
-	}
-	if len(cons) > 0 {
-		res.Lambda = st.dual.Lambda(cons)
-		res.Bound = st.dual.Bound(cons)
+	if cons := st.core.ConstraintViews(items); len(cons) > 0 {
+		res.Lambda = st.core.Dual.Lambda(cons)
+		res.Bound = st.core.Dual.Bound(cons)
 	}
 	res.CommRounds = 2*res.MISIters + 2*res.Steps
 	return res, nil
@@ -410,8 +397,7 @@ func (st *state) firstPhase(res *Result) error {
 func (st *state) unsatisfied(members []int, thresh float64) []int {
 	var u []int
 	for _, id := range members {
-		it := &st.items[id]
-		if !st.dual.Satisfied(it.Demand, st.coeff[id], it.Edges, thresh, it.Profit) {
+		if st.core.Unsatisfied(&st.items[id], thresh) {
 			u = append(u, id)
 		}
 	}
@@ -484,55 +470,19 @@ func OwnerSeed(seed int64, owner int) int64 {
 }
 
 func (st *state) raise(id int) {
-	it := &st.items[id]
-	var delta float64
-	if st.cfg.Mode == Narrow {
-		delta = st.dual.RaiseNarrow(it.Demand, it.Profit, it.Height, it.Edges, it.Critical)
-	} else {
-		delta = st.dual.RaiseUnit(it.Demand, it.Profit, it.Edges, it.Critical)
-	}
+	delta := st.core.Raise(&st.items[id])
 	if st.trace != nil {
 		st.trace.Events = append(st.trace.Events, RaiseEvent{Step: st.steps, Item: id, Delta: delta})
 	}
 }
 
-// secondPhase pops the stack and greedily builds the feasible solution:
-// an item is added if its demand is unused and every path edge retains
-// capacity (edge-disjointness in unit mode, height sums ≤ 1 in narrow mode).
+// secondPhase pops the stack through the shared SelectGreedy rule.
 func (st *state) secondPhase(res *Result) {
-	usedDemand := make(map[int]bool)
-	usage := make(map[model.EdgeKey]float64)
-	var selected []int
-	for s := len(st.stack) - 1; s >= 0; s-- {
-		for _, id := range st.stack[s].items {
-			it := &st.items[id]
-			if usedDemand[it.Demand] {
-				continue
-			}
-			need := it.Height
-			if st.cfg.Mode == Unit {
-				need = 1 // unit rule schedules edge-disjointly even for wide h<1
-			}
-			ok := true
-			for _, e := range it.Edges {
-				if usage[e]+need > 1+dual.Tolerance {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			usedDemand[it.Demand] = true
-			for _, e := range it.Edges {
-				usage[e] += need
-			}
-			selected = append(selected, id)
-			res.Profit += it.Profit
-		}
+	steps := make([][]int, len(st.stack))
+	for i := range st.stack {
+		steps[i] = st.stack[i].items
 	}
-	sortInts(selected)
-	res.Selected = selected
+	res.Selected, res.Profit = SelectGreedy(st.items, st.cfg.Mode, steps)
 }
 
 func profitRange(items []Item) (pmin, pmax float64) {
