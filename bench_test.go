@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	treesched "treesched"
 	"treesched/internal/decomp"
 	"treesched/internal/dist"
 	"treesched/internal/engine"
@@ -95,6 +96,101 @@ func BenchmarkEngineUnitTree(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineUnitTreeParallel measures the sharded parallel pipeline on
+// the same instances as BenchmarkEngineUnitTree, by worker count. p=1 is
+// the serial engine; higher p adds the worker-pool conflict build and
+// per-component scheduling (bit-identical results).
+func BenchmarkEngineUnitTreeParallel(b *testing.B) {
+	for _, sz := range []struct{ n, m, r int }{{256, 192, 3}, {1024, 768, 3}} {
+		rng := rand.New(rand.NewSource(2))
+		in, err := workload.RandomTreeInstance(workload.TreeConfig{
+			Vertices: sz.n, Trees: sz.r, Demands: sz.m, ProfitRatio: 16,
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("m=%d/p=%d", sz.m, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.RunParallel(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: int64(i)}, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineShardedFleet measures the pipeline's best case: a fleet of
+// disjoint networks (every demand pinned to one), where the conflict graph
+// splits into many components and shards run concurrently.
+func BenchmarkEngineShardedFleet(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 256, Trees: 16, Demands: 1024, ProfitRatio: 16,
+		AccessMin: 1, AccessMax: 1,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunParallel(items, engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: int64(i)}, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverCachedDecomposition measures the batch surface: repeated
+// solves over the same networks, where the Solver's decomposition cache
+// skips the per-tree Ideal construction.
+func BenchmarkSolverCachedDecomposition(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 512, Trees: 4, Demands: 256, ProfitRatio: 16,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func() *treesched.Instance {
+		inst := treesched.NewInstance(512)
+		for _, tr := range in.Trees {
+			edges := make([][2]int, 0, tr.N()-1)
+			for _, e := range tr.Edges() {
+				edges = append(edges, [2]int{e.U, e.V})
+			}
+			if _, err := inst.AddTree(edges); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, d := range in.Demands {
+			inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...))
+		}
+		return inst
+	}
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 1, Parallelism: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(build()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

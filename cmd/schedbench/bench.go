@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"treesched/internal/engine"
+	"treesched/internal/workload"
+)
+
+// This file implements -bench-json: a machine-readable performance run of
+// the solve pipeline, emitted as one JSON document so the perf trajectory
+// can accumulate across commits (schema below). It times the engine-level
+// solve over prebuilt items — the quantity BenchmarkEngineUnitTree
+// measures — serial and through the sharded parallel pipeline.
+
+// benchSchema identifies the report layout. Bump when fields change.
+const benchSchema = "treesched/bench/v1"
+
+// BenchReport is the top-level -bench-json document.
+type BenchReport struct {
+	Schema    string        `json:"schema"`
+	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
+	GoVersion string        `json:"go"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"` // runtime.NumCPU at run time
+	Seed      int64         `json:"seed"`
+	Quick     bool          `json:"quick"`
+	Results   []BenchResult `json:"results"`
+}
+
+// BenchResult is one timed scenario. SpeedupVsSerial compares against the
+// parallelism-1 run of the same scenario (1 for the serial rows
+// themselves); on single-CPU hosts it reflects sharding's locality wins
+// rather than concurrency.
+type BenchResult struct {
+	Name            string  `json:"name"`  // scenario id, stable across commits
+	Items           int     `json:"items"` // demand instances after expansion
+	Components      int     `json:"components"`
+	Mode            string  `json:"mode"`
+	Parallelism     int     `json:"parallelism"`
+	Iters           int     `json:"iters"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	SolvesPerSec    float64 `json:"solves_per_sec"`
+	ItemsPerSec     float64 `json:"items_per_sec"`
+	SerialNsPerOp   int64   `json:"serial_ns_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// benchScenario is a workload shape swept by the bench run.
+type benchScenario struct {
+	name string
+	cfg  workload.TreeConfig
+}
+
+func benchScenarios(quick bool) []benchScenario {
+	sizes := []struct {
+		n, m, r int
+	}{{64, 48, 2}, {256, 192, 3}, {1024, 768, 3}}
+	if quick {
+		sizes = sizes[:2]
+	}
+	var out []benchScenario
+	for _, sz := range sizes {
+		out = append(out, benchScenario{
+			name: fmt.Sprintf("unit-tree/m=%d", sz.m),
+			cfg: workload.TreeConfig{
+				Vertices: sz.n, Trees: sz.r, Demands: sz.m, ProfitRatio: 16,
+			},
+		})
+	}
+	// The sharded best case: a fleet of disjoint networks, every demand
+	// pinned to one, so the conflict graph splits into many components.
+	fleet := workload.TreeConfig{
+		Vertices: 256, Trees: 16, Demands: 1024, ProfitRatio: 16,
+		AccessMin: 1, AccessMax: 1,
+	}
+	if quick {
+		fleet = workload.TreeConfig{
+			Vertices: 64, Trees: 8, Demands: 192, ProfitRatio: 16,
+			AccessMin: 1, AccessMax: 1,
+		}
+	}
+	out = append(out, benchScenario{name: "unit-tree/fleet", cfg: fleet})
+	return out
+}
+
+// runBenchJSON executes the scenarios at parallelism 1 and max(4, NumCPU)
+// and writes the report to path.
+func runBenchJSON(path string, seed int64, quick bool) error {
+	iters := 5
+	if quick {
+		iters = 2
+	}
+	parallel := runtime.NumCPU()
+	if parallel < 4 {
+		parallel = 4
+	}
+	report := &BenchReport{
+		Schema:    benchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Seed:      seed,
+		Quick:     quick,
+	}
+	for _, sc := range benchScenarios(quick) {
+		rng := rand.New(rand.NewSource(seed + 1))
+		in, err := workload.RandomTreeInstance(sc.cfg, rng)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sc.name, err)
+		}
+		items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sc.name, err)
+		}
+		components := len(engine.ConflictComponents(engine.BuildConflicts(items)))
+		var serialNs int64
+		for _, p := range []int{1, parallel} {
+			ns, err := timeSolve(items, seed, p, iters)
+			if err != nil {
+				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
+			}
+			if p == 1 {
+				serialNs = ns
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            sc.name,
+				Items:           len(items),
+				Components:      components,
+				Mode:            engine.Unit.String(),
+				Parallelism:     p,
+				Iters:           iters,
+				NsPerOp:         ns,
+				SolvesPerSec:    1e9 / float64(ns),
+				ItemsPerSec:     float64(len(items)) * 1e9 / float64(ns),
+				SerialNsPerOp:   serialNs,
+				SpeedupVsSerial: float64(serialNs) / float64(ns),
+			})
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	return nil
+}
+
+// timeSolve measures the best-of-iters wall time of one engine solve.
+func timeSolve(items []engine.Item, seed int64, parallelism, iters int) (int64, error) {
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed + int64(i)}
+		start := time.Now()
+		if _, err := engine.RunParallel(items, cfg, parallelism); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}

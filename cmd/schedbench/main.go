@@ -1,10 +1,13 @@
 // Command schedbench runs the reproduction experiment suite (DESIGN.md §4,
 // experiments E1..E12 and ablations A1..A3) and prints the result tables
-// recorded in EXPERIMENTS.md.
+// recorded in EXPERIMENTS.md. With -bench-json it instead runs the solve
+// performance suite and writes a machine-readable treesched/bench/v1
+// report (see BenchReport) so perf can be tracked across commits.
 //
 // Usage:
 //
 //	schedbench [-experiment all|E1|...|A3] [-seed N] [-quick]
+//	schedbench -bench-json FILE [-seed N] [-quick]
 package main
 
 import (
@@ -18,11 +21,19 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E12, A1..A3) or 'all'")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		which     = flag.String("experiment", "all", "experiment id (E1..E12, A1..A3) or 'all'")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		quick     = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		benchJSON = flag.String("bench-json", "", "run the solve perf suite and write a treesched/bench/v1 JSON report to this file")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *seed, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*which, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "schedbench:", err)
 		os.Exit(1)

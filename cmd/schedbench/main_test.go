@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run("E1", 1, true); err != nil {
@@ -11,5 +15,34 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("E99", 1, true); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBenchJSONReport(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := runBenchJSON(path, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, benchSchema)
+	}
+	if len(report.Results) == 0 {
+		t.Fatal("no results in report")
+	}
+	for _, r := range report.Results {
+		if r.NsPerOp <= 0 || r.SolvesPerSec <= 0 || r.ItemsPerSec <= 0 {
+			t.Errorf("%s p=%d: non-positive timing fields: %+v", r.Name, r.Parallelism, r)
+		}
+		if r.Parallelism == 1 && r.SpeedupVsSerial != 1 {
+			t.Errorf("%s: serial row speedup = %v, want 1", r.Name, r.SpeedupVsSerial)
+		}
 	}
 }

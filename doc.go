@@ -30,6 +30,46 @@
 //	// res.Assignments: which demands run on which networks
 //	// res.DualBound:   certified upper bound on the optimum
 //
+// # The Solver batch API and the sharded parallel pipeline
+//
+// Solve prepares an instance from scratch on every call. For batch use —
+// re-solving as demands arrive and depart on fixed networks — construct a
+// Solver instead: it carries one Options and caches the per-tree layered
+// decompositions (keyed by network structure), so repeated solves over the
+// same networks skip the decomposition work:
+//
+//	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Parallelism: 8})
+//	res1, _ := s.Solve(inst1) // decomposes inst1's trees, caches layouts
+//	res2, _ := s.Solve(inst2) // same networks: cache hit, straight to solving
+//
+// Options.Parallelism sets the worker count of the sharded solve pipeline:
+// the conflict graph of §2 decomposes into connected components that never
+// exchange messages, so the epoch/stage/step schedule runs per component on
+// a worker pool and the results are merged back into the serial execution
+// exactly. Because per-owner PRNG streams are shard-independent, any
+// Parallelism (and the serial engine) produce bit-identical selections,
+// profit and dual bound — asserted by the determinism suite. A Solver is
+// safe for concurrent use.
+//
+// # Benchmark telemetry: the treesched/bench/v1 schema
+//
+// `schedbench -bench-json FILE` runs the solve performance suite and
+// writes one JSON document (checked-in snapshots are named BENCH_*.json)
+// with fields:
+//
+//   - schema: "treesched/bench/v1"; timestamp (RFC 3339 UTC); go, goos,
+//     goarch, cpus: the toolchain and host that produced the numbers;
+//     seed, quick: run parameters;
+//   - results[]: one entry per (scenario, parallelism) with name, items,
+//     components (conflict-graph components of the scenario), mode,
+//     parallelism, iters, ns_per_op (best of iters), solves_per_sec,
+//     items_per_sec, serial_ns_per_op and speedup_vs_serial (the
+//     parallelism-1 run of the same scenario).
+//
+// Scenarios cover the contended single-component sizes of
+// BenchmarkEngineUnitTree (unit-tree/m=48..768) and a sharded fleet of
+// disjoint networks (unit-tree/fleet), the pipeline's best case.
+//
 // # The Simulate execution path
 //
 // By default Solve runs the in-process engine (internal/engine): fast, but

@@ -1,0 +1,49 @@
+package treesched_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndRun smoke-tests every examples/* program: each must
+// build and exit 0. The examples are the documented entry points to the
+// public API, so a compile break or runtime panic there is a release
+// blocker even when the library tests pass.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test spawns the go tool; skipped in -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("examples", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goTool, "run", "./"+dir)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("go run ./%s produced no output", dir)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+}

@@ -6,7 +6,9 @@
 package dual
 
 import (
+	"maps"
 	"math"
+	"slices"
 
 	"treesched/internal/model"
 )
@@ -86,14 +88,17 @@ func (a *Assignment) RaiseNarrow(demand int, profit, height float64, path, criti
 	return delta
 }
 
-// Value returns the dual objective Σα + Σβ.
+// Value returns the dual objective Σα + Σβ. The sum runs over sorted keys
+// so that equal assignments produce bitwise-equal values regardless of map
+// iteration order — the sharded parallel engine merges per-component duals
+// and must reproduce the serial run's Bound exactly.
 func (a *Assignment) Value() float64 {
 	v := 0.0
-	for _, x := range a.Alpha {
-		v += x
+	for _, k := range slices.Sorted(maps.Keys(a.Alpha)) {
+		v += a.Alpha[k]
 	}
-	for _, x := range a.Beta {
-		v += x
+	for _, k := range slices.Sorted(maps.Keys(a.Beta)) {
+		v += a.Beta[k]
 	}
 	return v
 }

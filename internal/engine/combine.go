@@ -1,5 +1,7 @@
 package engine
 
+import "slices"
+
 // ArbitraryResult is the outcome of the §6 arbitrary-height algorithm: the
 // wide and narrow sub-runs plus the per-resource combination.
 type ArbitraryResult struct {
@@ -21,6 +23,13 @@ type ArbitraryResult struct {
 // at most one instance per demand, and per-resource selection preserves the
 // bandwidth constraints.
 func RunArbitrary(items []Item, cfg Config) (*ArbitraryResult, error) {
+	return RunArbitraryParallel(items, cfg, 1)
+}
+
+// RunArbitraryParallel is RunArbitrary with each sub-run executed through
+// the sharded parallel pipeline on `workers` goroutines. Results are
+// bit-identical to RunArbitrary at every worker count.
+func RunArbitraryParallel(items []Item, cfg Config, workers int) (*ArbitraryResult, error) {
 	wide, narrow, wideIDs, narrowIDs := SplitWideNarrow(items)
 
 	out := &ArbitraryResult{}
@@ -29,7 +38,7 @@ func RunArbitrary(items []Item, cfg Config) (*ArbitraryResult, error) {
 		wcfg := cfg
 		wcfg.Mode = Unit
 		wcfg.Xi = 0 // re-derive from the wide item set
-		res, err := Run(wide, wcfg)
+		res, err := RunParallel(wide, wcfg, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +51,7 @@ func RunArbitrary(items []Item, cfg Config) (*ArbitraryResult, error) {
 		ncfg := cfg
 		ncfg.Mode = Narrow
 		ncfg.Xi = 0
-		res, err := Run(narrow, ncfg)
+		res, err := RunParallel(narrow, ncfg, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +85,7 @@ func combinePerResource(wideByRes, narrowByRes map[int][]int, profitW, profitN m
 			profit += profitN[r]
 		}
 	}
-	sortInts(selected)
+	slices.Sort(selected)
 	return selected, profit
 }
 

@@ -1,0 +1,32 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/workload"
+)
+
+func BenchmarkBuildConflictsWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.BuildConflictsWorkers(items, p)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"slices"
+
 	"treesched/internal/dual"
 	"treesched/internal/model"
 )
@@ -136,7 +138,7 @@ func SelectGreedy(items []Item, mode Mode, steps [][]int) (selected []int, profi
 			profit += it.Profit
 		}
 	}
-	sortInts(selected)
+	slices.Sort(selected)
 	return selected, profit
 }
 

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
 
 	"treesched/internal/dual"
 	"treesched/internal/mis"
@@ -136,12 +139,20 @@ type state struct {
 	stack []step
 	trace *Trace
 	steps int
+	// index is the scratch used by subgraph to relabel item ids to dense
+	// positions within the current unsatisfied set; -1 = absent. It replaces
+	// a per-step map rebuild on the hot path.
+	index []int
+	// sub is the reusable subgraph adjacency backing; sub[i] slices are
+	// truncated and refilled each step.
+	sub [][]int
 }
 
 // step is one pushed independent set with its schedule stamp.
 type step struct {
 	epoch, stage, iter int
 	items              []int // raised item ids, ascending
+	misIters           int   // Luby iterations spent electing this step's set
 }
 
 // Plan is the globally-known schedule of the distributed algorithm: every
@@ -198,11 +209,16 @@ func Run(items []Item, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runSerial(items, cfg, plan, buildConflicts(items, 1))
+}
+
+// newState assembles run state over a prepared plan and conflict adjacency.
+func newState(items []Item, cfg Config, plan *Plan, adj [][]int) *state {
 	st := &state{
 		items: items,
 		cfg:   cfg,
 		plan:  plan,
-		adj:   BuildConflicts(items),
+		adj:   adj,
 		core:  NewCore(cfg.Mode),
 		rngs:  make(map[int]*rand.Rand),
 	}
@@ -213,7 +229,13 @@ func Run(items []Item, cfg Config) (*Result, error) {
 	if cfg.RecordTrace {
 		st.trace = &Trace{}
 	}
+	return st
+}
 
+// runSerial executes both phases over one conflict graph. The sharded
+// pipeline (RunParallel) runs firstPhase per component instead and merges.
+func runSerial(items []Item, cfg Config, plan *Plan, adj [][]int) (*Result, error) {
+	st := newState(items, cfg, plan, adj)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	res.Delta = MaxCritical(items)
 	if err := st.firstPhase(res); err != nil {
@@ -307,45 +329,142 @@ func MaxCritical(items []Item) int {
 // two items conflict iff they share a demand or they share an edge (which
 // implies the same resource, since edge keys embed the resource id).
 func BuildConflicts(items []Item) [][]int {
-	adj := make([][]int, len(items))
-	byDemand := make(map[int][]int)
-	byEdge := make(map[model.EdgeKey][]int)
+	return buildConflicts(items, 1)
+}
+
+// BuildConflictsWorkers is BuildConflicts computed on a worker pool of the
+// given size; the adjacency is identical at any worker count.
+func BuildConflictsWorkers(items []Item, workers int) [][]int {
+	return buildConflicts(items, workers)
+}
+
+// buildConflicts is BuildConflicts over an optional worker pool. Items are
+// first grouped by shared demand and by shared edge; every group's member
+// list is ascending because items are scanned in id order. The adjacency is
+// then emitted neighbor-by-neighbor in ascending w, so each row comes out
+// sorted and deduplicated (the last-element check) with no per-row sort and
+// no map access on the quadratic path — the dominant cost on contended
+// instances, where hub edges put hundreds of items in one group. Workers
+// partition the rows; binary search into the ascending member lists keeps
+// each worker's share of the quadratic work proportional to its rows, so
+// the output is identical — and the total work near-constant — at any
+// worker count.
+func buildConflicts(items []Item, workers int) [][]int {
+	n := len(items)
+	adj := make([][]int, n)
+	byDemand := make(map[int]int)
+	byEdge := make(map[model.EdgeKey]int)
+	var groups [][]int
+	memberships := make([][]int32, n) // group indices containing each item
 	for i := range items {
-		byDemand[items[i].Demand] = append(byDemand[items[i].Demand], i)
+		gd, ok := byDemand[items[i].Demand]
+		if !ok {
+			gd = len(groups)
+			groups = append(groups, nil)
+			byDemand[items[i].Demand] = gd
+		}
+		groups[gd] = append(groups[gd], i)
+		memberships[i] = append(memberships[i], int32(gd))
 		for _, e := range items[i].Edges {
-			byEdge[e] = append(byEdge[e], i)
+			ge, ok := byEdge[e]
+			if !ok {
+				ge = len(groups)
+				groups = append(groups, nil)
+				byEdge[e] = ge
+			}
+			groups[ge] = append(groups[ge], i)
+			memberships[i] = append(memberships[i], int32(ge))
 		}
 	}
-	seen := make([]int, len(items))
-	for i := range seen {
-		seen[i] = -1
+	// More workers than processors (or tiny inputs) would add pure
+	// scheduling overhead: the passes below divide CPU-bound work, so cap
+	// at what the machine can actually run at once.
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	add := func(v int, group []int) {
-		for _, w := range group {
-			if w != v && seen[w] != v {
-				seen[w] = v
-				adj[v] = append(adj[v], w)
+	if workers < 1 || n < 2*workers {
+		workers = 1
+	}
+	// Two passes over the same traversal, each row-partitioned: count exact
+	// degrees, prefix-sum into one flat backing array, then fill. Exact
+	// sizing avoids append-grow churn — the adjacency of a contended
+	// instance runs to millions of entries, and growing rows one append at
+	// a time (worse: from concurrent goroutines) is allocator-bound.
+	last := make([]int32, n) // last neighbor seen per row (dedup), -1 = none
+	counts := make([]int32, n)
+	countPass := func(lo, hi int) {
+		for w := 0; w < n; w++ {
+			for _, g := range memberships[w] {
+				members := groups[g]
+				i := 0
+				if lo > 0 {
+					i, _ = slices.BinarySearch(members, lo)
+				}
+				for ; i < len(members) && members[i] < hi; i++ {
+					if v := members[i]; v != w && last[v] != int32(w) {
+						last[v] = int32(w)
+						counts[v]++
+					}
+				}
 			}
 		}
 	}
-	for v := range items {
-		add(v, byDemand[items[v].Demand])
-		for _, e := range items[v].Edges {
-			add(v, byEdge[e])
+	var offsets, flat, next []int
+	fillPass := func(lo, hi int) {
+		for w := 0; w < n; w++ {
+			for _, g := range memberships[w] {
+				members := groups[g]
+				i := 0
+				if lo > 0 {
+					i, _ = slices.BinarySearch(members, lo)
+				}
+				for ; i < len(members) && members[i] < hi; i++ {
+					if v := members[i]; v != w && last[v] != int32(w) {
+						last[v] = int32(w)
+						flat[next[v]] = w
+						next[v]++
+					}
+				}
+			}
 		}
 	}
-	for v := range adj {
-		sortInts(adj[v])
+	inParallel := func(pass func(lo, hi int)) {
+		if workers == 1 {
+			pass(0, n)
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				pass(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	resetLast := func() {
+		for i := range last {
+			last[i] = -1
+		}
+	}
+	resetLast()
+	inParallel(countPass)
+	offsets = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int(counts[v])
+	}
+	flat = make([]int, offsets[n])
+	next = make([]int, n)
+	copy(next, offsets[:n])
+	resetLast()
+	inParallel(fillPass)
+	for v := 0; v < n; v++ {
+		adj[v] = flat[offsets[v]:offsets[v+1]:offsets[v+1]]
 	}
 	return adj
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // firstPhase runs the epoch/stage/step schedule of Figure 7.
@@ -387,7 +506,7 @@ func (st *state) firstPhase(res *Result) error {
 					raised = append(raised, id)
 					res.Raised++
 				}
-				st.stack = append(st.stack, step{epoch: k, stage: j + 1, iter: iter, items: raised})
+				st.stack = append(st.stack, step{epoch: k, stage: j + 1, iter: iter, items: raised, misIters: iters})
 			}
 		}
 	}
@@ -420,18 +539,33 @@ func (st *state) independentSet(u []int) ([]int, int) {
 }
 
 // subgraph restricts the conflict adjacency to u, relabeling to 0..len(u)-1.
+// It reuses a dense item-id → position scratch instead of rebuilding a map
+// every step; the scratch is reset on exit so later steps see a clean slate.
 func (st *state) subgraph(u []int) [][]int {
-	index := make(map[int]int, len(u))
-	for i, id := range u {
-		index[id] = i
+	if st.index == nil {
+		st.index = make([]int, len(st.items))
+		for i := range st.index {
+			st.index[i] = -1
+		}
 	}
-	sub := make([][]int, len(u))
 	for i, id := range u {
+		st.index[id] = i
+	}
+	if cap(st.sub) < len(u) {
+		st.sub = make([][]int, len(u))
+	}
+	sub := st.sub[:len(u)]
+	for i, id := range u {
+		row := sub[i][:0]
 		for _, w := range st.adj[id] {
-			if j, ok := index[w]; ok {
-				sub[i] = append(sub[i], j)
+			if j := st.index[w]; j >= 0 {
+				row = append(row, j)
 			}
 		}
+		sub[i] = row
+	}
+	for _, id := range u {
+		st.index[id] = -1
 	}
 	return sub
 }

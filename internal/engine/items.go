@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"treesched/internal/decomp"
+	"treesched/internal/graph"
 	"treesched/internal/model"
 )
 
@@ -37,23 +38,45 @@ func (k DecompKind) String() string {
 // aligned from the deepest level, exactly as the pseudocode's
 // G_k = ∪_q G_k^(q).
 func BuildTreeItems(in *model.Instance, kind DecompKind) ([]Item, error) {
+	layered := make([]*decomp.Layered, len(in.Trees))
+	for q, t := range in.Trees {
+		l, err := LayeredForTree(t, kind)
+		if err != nil {
+			return nil, err
+		}
+		layered[q] = l
+	}
+	return BuildTreeItemsLayered(in, layered)
+}
+
+// LayeredForTree builds the layered decomposition of one tree under the
+// given decomposition kind. The result depends only on the tree structure,
+// so callers (e.g. the root-package Solver) may cache it across solves on
+// the same network.
+func LayeredForTree(t *graph.Tree, kind DecompKind) (*decomp.Layered, error) {
+	var h *decomp.TreeDecomposition
+	switch kind {
+	case IdealDecomp:
+		h = decomp.Ideal(t)
+	case BalancingDecomp:
+		h = decomp.Balancing(t)
+	case RootFixingDecomp:
+		h = decomp.RootFixing(t, 0)
+	default:
+		return nil, fmt.Errorf("engine: unknown decomposition kind %d", int(kind))
+	}
+	return decomp.NewLayered(h), nil
+}
+
+// BuildTreeItemsLayered is BuildTreeItems over prebuilt per-tree layered
+// decompositions (layered[q] belongs to in.Trees[q]); it skips the
+// decomposition work, which dominates item building on large trees.
+func BuildTreeItemsLayered(in *model.Instance, layered []*decomp.Layered) ([]Item, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	layered := make([]*decomp.Layered, len(in.Trees))
-	for q, t := range in.Trees {
-		var h *decomp.TreeDecomposition
-		switch kind {
-		case IdealDecomp:
-			h = decomp.Ideal(t)
-		case BalancingDecomp:
-			h = decomp.Balancing(t)
-		case RootFixingDecomp:
-			h = decomp.RootFixing(t, 0)
-		default:
-			return nil, fmt.Errorf("engine: unknown decomposition kind %d", int(kind))
-		}
-		layered[q] = decomp.NewLayered(h)
+	if len(layered) != len(in.Trees) {
+		return nil, fmt.Errorf("engine: %d layered decompositions for %d trees", len(layered), len(in.Trees))
 	}
 	dis := in.Expand()
 	items := make([]Item, 0, len(dis))

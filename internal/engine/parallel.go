@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"slices"
+	"sync"
+)
+
+// This file implements the sharded parallel solve pipeline. The conflict
+// graph of §2 decomposes into connected components that never exchange
+// messages: items in different components share no demand and no edge, so
+// their dual variables are disjoint, their raise rules never read each
+// other's state, and — because priorities come from per-owner PRNG streams
+// (OwnerSeed) and every item of a demand lives in one component — their
+// Luby draws are shard-independent. RunParallel therefore runs the full
+// epoch/stage/step schedule per component on a worker pool and reassembles
+// the global serial execution exactly:
+//
+//   - a serial step at schedule position (epoch, stage, iter) raises the
+//     union over components of the items each component raises at that same
+//     position, so merging shard stacks by position reproduces the serial
+//     stack bit for bit;
+//   - a serial Luby election runs until every active component is decided,
+//     with decided vertices drawing nothing, so the serial iteration count
+//     at a position is the max over the shards active there;
+//   - the merged stack feeds the same SelectGreedy second phase, and the
+//     merged dual assignment (disjoint α and β) yields the same λ and bound.
+//
+// The result is bit-identical to Run for every worker count.
+
+// ConflictComponents returns the connected components of a conflict
+// adjacency (as produced by BuildConflicts): each component is an ascending
+// slice of item ids, and components are ordered by smallest member.
+func ConflictComponents(adj [][]int) [][]int {
+	comp := make([]int, len(adj))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	var stack []int
+	for v := range adj {
+		if comp[v] >= 0 {
+			continue
+		}
+		id := len(out)
+		members := []int{v}
+		comp[v] = id
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[x] {
+				if comp[w] < 0 {
+					comp[w] = id
+					members = append(members, w)
+					stack = append(stack, w)
+				}
+			}
+		}
+		slices.Sort(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// shard is one conflict component prepared for an independent first phase.
+type shard struct {
+	comp  []int   // global item ids, ascending
+	items []Item  // dense re-indexed copies (ID = position in comp)
+	adj   [][]int // conflict adjacency relabeled to shard-local ids
+	st    *state
+	res   *Result
+}
+
+// RunParallel executes the same algorithm as Run, sharded over the
+// connected components of the conflict graph on `workers` goroutines. The
+// Result is bit-identical to Run(items, cfg) at every worker count; with
+// workers ≤ 1 the serial engine runs directly.
+func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
+	plan, err := PlanFor(items, &cfg) // resolves ξ and defaults globally
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	adj := buildConflicts(items, workers)
+	if workers == 1 {
+		return runSerial(items, cfg, plan, adj)
+	}
+	comps := ConflictComponents(adj)
+	if len(comps) <= 1 {
+		// One giant component: sharding cannot help, but the parallel
+		// conflict build above already did its part.
+		return runSerial(items, cfg, plan, adj)
+	}
+
+	// Relabel items and adjacency per shard. Components partition the id
+	// space, so one shared translation array serves all shards.
+	local := make([]int, len(items))
+	shards := make([]*shard, len(comps))
+	for s, comp := range comps {
+		for i, id := range comp {
+			local[id] = i
+		}
+		sh := &shard{comp: comp}
+		sh.items = make([]Item, len(comp))
+		sh.adj = make([][]int, len(comp))
+		for i, id := range comp {
+			sh.items[i] = items[id]
+			sh.items[i].ID = i
+			row := make([]int, len(adj[id]))
+			for j, w := range adj[id] {
+				row[j] = local[w]
+			}
+			sh.adj[i] = row
+		}
+		shards[s] = sh
+	}
+
+	// First phase per shard on the pool. Every shard runs under the global
+	// plan: identical ξ-ladder and step cap, epochs without members skip.
+	errs := make([]error, len(shards))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	pool := min(workers, len(shards))
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				sh := shards[s]
+				sh.st = newState(sh.items, cfg, plan, sh.adj)
+				sh.res = &Result{Dual: sh.st.core.Dual, Trace: sh.st.trace}
+				errs[s] = sh.st.firstPhase(sh.res)
+			}
+		}()
+	}
+	for s := range shards {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeShards(items, cfg, plan, shards)
+}
+
+// stamped is one shard step tagged with its schedule position.
+type stamped struct {
+	epoch, stage, iter int
+	shard              int
+	pos                int // position in the shard's stack (= step - 1)
+	items              []int
+}
+
+// mergeShards reassembles the serial execution from per-shard first phases.
+func mergeShards(items []Item, cfg Config, plan *Plan, shards []*shard) (*Result, error) {
+	res := &Result{
+		Delta:  MaxCritical(items),
+		Epochs: plan.MaxGroup,
+		Stages: plan.Stages,
+	}
+
+	// Collect every shard step with its schedule stamp and global item ids.
+	var all []stamped
+	for s, sh := range shards {
+		res.Raised += sh.res.Raised
+		if sh.res.MaxStageSteps > res.MaxStageSteps {
+			res.MaxStageSteps = sh.res.MaxStageSteps
+		}
+		for p, st := range sh.st.stack {
+			ids := make([]int, len(st.items))
+			for i, id := range st.items {
+				ids[i] = sh.comp[id]
+			}
+			all = append(all, stamped{st.epoch, st.stage, st.iter, s, p, ids})
+		}
+	}
+	slices.SortFunc(all, func(a, b stamped) int {
+		if a.epoch != b.epoch {
+			return a.epoch - b.epoch
+		}
+		if a.stage != b.stage {
+			return a.stage - b.stage
+		}
+		if a.iter != b.iter {
+			return a.iter - b.iter
+		}
+		return a.shard - b.shard
+	})
+
+	// Group equal stamps into global steps: the serial step at a stamp
+	// raises the union of the shard steps there (ids ascending) and spends
+	// max-over-shards Luby iterations electing it.
+	var (
+		steps    [][]int
+		perStep  [][]stamped // contributing shard records, for the trace
+		misIters []int
+	)
+	for i := 0; i < len(all); {
+		j := i
+		var ids []int
+		iters := 0
+		for ; j < len(all) && all[j].epoch == all[i].epoch && all[j].stage == all[i].stage && all[j].iter == all[i].iter; j++ {
+			ids = append(ids, all[j].items...)
+			if it := shards[all[j].shard].st.stack[all[j].pos].misIters; it > iters {
+				iters = it
+			}
+		}
+		slices.Sort(ids)
+		steps = append(steps, ids)
+		perStep = append(perStep, all[i:j])
+		misIters = append(misIters, iters)
+		i = j
+	}
+	res.Steps = len(steps)
+	for _, it := range misIters {
+		res.MISIters += it
+	}
+	res.CommRounds = 2*res.MISIters + 2*res.Steps
+
+	// Second phase over the merged stack, exactly as the serial run.
+	res.Selected, res.Profit = SelectGreedy(items, cfg.Mode, steps)
+
+	// Merge the disjoint dual assignments and score them globally.
+	core := NewCore(cfg.Mode)
+	for _, sh := range shards {
+		for k, v := range sh.st.core.Dual.Alpha {
+			core.Dual.Alpha[k] = v
+		}
+		for k, v := range sh.st.core.Dual.Beta {
+			core.Dual.Beta[k] = v
+		}
+	}
+	res.Dual = core.Dual
+	if cons := core.ConstraintViews(items); len(cons) > 0 {
+		res.Lambda = core.Dual.Lambda(cons)
+		res.Bound = core.Dual.Bound(cons)
+	}
+
+	if cfg.RecordTrace {
+		res.Trace = mergeTraces(shards, perStep)
+	}
+	return res, nil
+}
+
+// mergeTraces rebuilds the serial raise trace: shard events carry
+// shard-local step indices; the merged trace renumbers them to global step
+// indices and interleaves same-step raises in ascending item order.
+func mergeTraces(shards []*shard, perStep [][]stamped) *Trace {
+	// Group each shard's events by local step index (events are appended in
+	// step order, so the grouping is a single scan).
+	events := make([]map[int][]RaiseEvent, len(shards))
+	for s, sh := range shards {
+		events[s] = make(map[int][]RaiseEvent)
+		if sh.st.trace == nil {
+			continue
+		}
+		for _, ev := range sh.st.trace.Events {
+			events[s][ev.Step] = append(events[s][ev.Step], ev)
+		}
+	}
+	tr := &Trace{}
+	for g, group := range perStep {
+		var evs []RaiseEvent
+		for _, rec := range group {
+			for _, ev := range events[rec.shard][rec.pos+1] {
+				evs = append(evs, RaiseEvent{
+					Step:  g + 1,
+					Item:  shards[rec.shard].comp[ev.Item],
+					Delta: ev.Delta,
+				})
+			}
+		}
+		slices.SortFunc(evs, func(a, b RaiseEvent) int { return a.Item - b.Item })
+		tr.Events = append(tr.Events, evs...)
+	}
+	return tr
+}

@@ -1,0 +1,169 @@
+package engine_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treesched/internal/engine"
+	"treesched/internal/workload"
+)
+
+// shardedCases are the instance shapes the determinism suite sweeps: a
+// fragmented multi-network workload (each demand pinned to one of several
+// networks, so the conflict graph splits into many components) and a
+// contended single-pool workload (one giant component, exercising the
+// serial fallback under parallel entry points).
+func shardedCases(t *testing.T, mode engine.Mode, seed int64) map[string][]engine.Item {
+	t.Helper()
+	heights := workload.UnitHeights
+	if mode == engine.Narrow {
+		heights = workload.NarrowHeights
+	}
+	return map[string][]engine.Item{
+		"fragmented": treeItems(t, workload.TreeConfig{
+			Vertices: 48, Trees: 6, Demands: 60, ProfitRatio: 16,
+			Heights: heights, AccessMin: 1, AccessMax: 1,
+		}, seed),
+		"giant": treeItems(t, workload.TreeConfig{
+			Vertices: 32, Trees: 2, Demands: 40, ProfitRatio: 8,
+			Heights: heights,
+		}, seed),
+	}
+}
+
+// TestRunParallelBitIdentical is the determinism suite of the sharded
+// pipeline: across seeds × modes × parallelism, RunParallel must reproduce
+// the serial Run bit for bit — selections, profit, dual bound, λ, the full
+// dual assignment, every schedule counter, and the raise trace.
+func TestRunParallelBitIdentical(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.Unit, engine.Narrow} {
+		for seed := int64(0); seed < 10; seed++ {
+			for name, items := range shardedCases(t, mode, seed) {
+				cfg := engine.Config{Mode: mode, Epsilon: 0.1, Seed: seed, RecordTrace: true}
+				serial, err := engine.Run(items, cfg)
+				if err != nil {
+					t.Fatalf("%v/%s seed %d: serial: %v", mode, name, seed, err)
+				}
+				for _, workers := range []int{1, 4, 8} {
+					par, err := engine.RunParallel(items, cfg, workers)
+					if err != nil {
+						t.Fatalf("%v/%s seed %d p=%d: %v", mode, name, seed, workers, err)
+					}
+					tag := func(field string) string {
+						return mode.String() + "/" + name + " seed " + string(rune('0'+seed)) + " " + field
+					}
+					if !reflect.DeepEqual(par.Selected, serial.Selected) {
+						t.Errorf("%s: selected %v != serial %v (p=%d)", tag("selected"), par.Selected, serial.Selected, workers)
+					}
+					if par.Profit != serial.Profit {
+						t.Errorf("%s: profit %v != serial %v (p=%d)", tag("profit"), par.Profit, serial.Profit, workers)
+					}
+					if par.Bound != serial.Bound {
+						t.Errorf("%s: bound %v != serial %v (p=%d)", tag("bound"), par.Bound, serial.Bound, workers)
+					}
+					if par.Lambda != serial.Lambda {
+						t.Errorf("%s: lambda %v != serial %v (p=%d)", tag("lambda"), par.Lambda, serial.Lambda, workers)
+					}
+					if !reflect.DeepEqual(par.Dual.Alpha, serial.Dual.Alpha) || !reflect.DeepEqual(par.Dual.Beta, serial.Dual.Beta) {
+						t.Errorf("%s: dual assignment diverged (p=%d)", tag("dual"), workers)
+					}
+					if par.Steps != serial.Steps || par.MISIters != serial.MISIters ||
+						par.Raised != serial.Raised || par.MaxStageSteps != serial.MaxStageSteps ||
+						par.Epochs != serial.Epochs || par.Stages != serial.Stages ||
+						par.CommRounds != serial.CommRounds || par.Delta != serial.Delta {
+						t.Errorf("%s: counters diverged (p=%d): par %+v serial %+v", tag("counters"), workers, par, serial)
+					}
+					if !reflect.DeepEqual(par.Trace, serial.Trace) {
+						t.Errorf("%s: raise trace diverged (p=%d)", tag("trace"), workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunArbitraryParallelBitIdentical covers the §6 wide/narrow split
+// under the sharded pipeline with mixed heights.
+func TestRunArbitraryParallelBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 40, Trees: 4, Demands: 48, ProfitRatio: 8,
+			Heights: workload.MixedHeights, AccessMin: 1, AccessMax: 1,
+		}, seed)
+		cfg := engine.Config{Epsilon: 0.1, Seed: seed}
+		serial, err := engine.RunArbitrary(items, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, workers := range []int{4, 8} {
+			par, err := engine.RunArbitraryParallel(items, cfg, workers)
+			if err != nil {
+				t.Fatalf("seed %d p=%d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(par.Selected, serial.Selected) || par.Profit != serial.Profit || par.Bound != serial.Bound {
+				t.Errorf("seed %d p=%d: diverged: profit %v vs %v", seed, workers, par.Profit, serial.Profit)
+			}
+		}
+	}
+}
+
+// TestConflictComponents checks the component decomposition: a partition of
+// the item ids, no conflict edge crossing components, sorted members.
+func TestConflictComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		cfg := workload.TreeConfig{
+			Vertices: 12 + rng.Intn(30), Trees: 1 + rng.Intn(5),
+			Demands: 5 + rng.Intn(40), ProfitRatio: 4,
+			AccessMin: 1, AccessMax: 1 + rng.Intn(3),
+		}
+		items := treeItems(t, cfg, int64(trial))
+		adj := engine.BuildConflicts(items)
+		comps := engine.ConflictComponents(adj)
+		which := make([]int, len(items))
+		for i := range which {
+			which[i] = -1
+		}
+		total := 0
+		for c, comp := range comps {
+			for i, id := range comp {
+				if i > 0 && comp[i-1] >= id {
+					t.Fatalf("trial %d: component %d not strictly ascending", trial, c)
+				}
+				if which[id] != -1 {
+					t.Fatalf("trial %d: item %d in two components", trial, id)
+				}
+				which[id] = c
+				total++
+			}
+		}
+		if total != len(items) {
+			t.Fatalf("trial %d: components cover %d of %d items", trial, total, len(items))
+		}
+		for v := range adj {
+			for _, w := range adj[v] {
+				if which[v] != which[w] {
+					t.Fatalf("trial %d: conflict edge %d-%d crosses components", trial, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildConflictsParallelMatchesSerial pins the worker-pool conflict
+// build to the serial construction.
+func TestBuildConflictsParallelMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		items := treeItems(t, workload.TreeConfig{
+			Vertices: 64, Trees: 3, Demands: 80, ProfitRatio: 16,
+		}, seed)
+		want := engine.BuildConflicts(items)
+		for _, workers := range []int{2, 4, 7} {
+			got := engine.BuildConflictsWorkers(items, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d workers %d: adjacency diverged", seed, workers)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"treesched/internal/graph"
 	"treesched/internal/model"
@@ -130,6 +131,11 @@ func (c *TreeConfig) normalize() error {
 	if c.HMin <= 0 {
 		c.HMin = 0.05
 	}
+	if c.Heights == NarrowHeights && c.HMin > 0.5 {
+		// NarrowHeights samples [HMin, 1/2]; HMin above 1/2 would invert
+		// the range and produce heights the narrow-mode validator rejects.
+		c.HMin = 0.5
+	}
 	if c.AccessMin < 1 {
 		c.AccessMin = 1
 	}
@@ -203,7 +209,7 @@ func profit(ratio float64, rng *rand.Rand) float64 {
 func height(mix HeightMix, hmin float64, rng *rand.Rand) float64 {
 	switch mix {
 	case WideHeights:
-		return 0.5 + 0.5*rng.Float64() + 1e-9
+		return wideHeight(rng.Float64())
 	case NarrowHeights:
 		return hmin + (0.5-hmin)*rng.Float64()
 	case MixedHeights:
@@ -213,6 +219,18 @@ func height(mix HeightMix, hmin float64, rng *rand.Rand) float64 {
 	}
 }
 
+// wideHeight maps a uniform draw u ∈ [0, 1) into (1/2, 1]: the 1e-9 offset
+// keeps the sample strictly above 1/2, and the clamp keeps it from exceeding
+// 1 — for u within 2e-9 of 1, 0.5+0.5·u+1e-9 lands above 1, which
+// engine.validate rejects ("height > 1").
+func wideHeight(u float64) float64 {
+	h := 0.5 + 0.5*u + 1e-9
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
 func accessSet(total, lo, hi int, rng *rand.Rand) []model.TreeID {
 	k := lo
 	if hi > lo {
@@ -220,16 +238,8 @@ func accessSet(total, lo, hi int, rng *rand.Rand) []model.TreeID {
 	}
 	perm := rng.Perm(total)
 	set := append([]model.TreeID(nil), perm[:k]...)
-	sortInts(set)
+	slices.Sort(set)
 	return set
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // LineConfig parameterizes RandomLineInstance.
@@ -258,6 +268,9 @@ func (c *LineConfig) normalize() error {
 	}
 	if c.HMin <= 0 {
 		c.HMin = 0.05
+	}
+	if c.Heights == NarrowHeights && c.HMin > 0.5 {
+		c.HMin = 0.5 // see TreeConfig.normalize: keep the narrow range valid
 	}
 	if c.ProcMin < 1 {
 		c.ProcMin = 1

@@ -199,3 +199,75 @@ func TestHotspotFraction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWideHeightsStayInRange is the regression test for the WideHeights
+// sampler: 0.5 + 0.5·U + 1e-9 could exceed 1 (and engine.validate rejects
+// height > 1). Sweep many seeds so the top of the range is exercised.
+func TestWideHeightsStayInRange(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in, err := RandomTreeInstance(TreeConfig{
+			Vertices: 12, Trees: 1, Demands: 40, Heights: WideHeights,
+		}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range in.Demands {
+			if d.Height <= 0.5 || d.Height > 1 {
+				t.Fatalf("seed %d: wide height %v outside (1/2, 1]", seed, d.Height)
+			}
+		}
+	}
+	// The boundary a seed sweep cannot reach: for u within 2e-9 of 1 the
+	// unclamped formula exceeds 1. Pin the worst representable draw.
+	if h := wideHeight(math.Nextafter(1, 0)); h != 1 {
+		t.Fatalf("wideHeight(1-ulp) = %v, want exactly 1", h)
+	}
+	if h := wideHeight(0); h <= 0.5 {
+		t.Fatalf("wideHeight(0) = %v, want > 1/2", h)
+	}
+	// And a direct sampler sweep through the clamp.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100_000; i++ {
+		if h := height(WideHeights, 0.05, rng); h <= 0.5 || h > 1 {
+			t.Fatalf("draw %d: wide height %v outside (1/2, 1]", i, h)
+		}
+	}
+}
+
+// TestNarrowHMinClamped is the regression test for the inverted narrow
+// range: HMin > 1/2 used to make NarrowHeights sample [HMin, 1/2] backwards
+// and produce heights the narrow-mode validator rejects.
+func TestNarrowHMinClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in, err := RandomTreeInstance(TreeConfig{
+		Vertices: 16, Trees: 2, Demands: 30, Heights: NarrowHeights, HMin: 0.9,
+	}, rng)
+	if err != nil {
+		t.Fatalf("tree instance with HMin > 1/2: %v", err)
+	}
+	for _, d := range in.Demands {
+		if d.Height > 0.5 {
+			t.Fatalf("narrow height %v > 1/2 after clamp", d.Height)
+		}
+	}
+	lin, err := RandomLineInstance(LineConfig{
+		Slots: 20, Resources: 2, Demands: 30, Heights: NarrowHeights, HMin: 0.8,
+	}, rng)
+	if err != nil {
+		t.Fatalf("line instance with HMin > 1/2: %v", err)
+	}
+	for _, d := range lin.Demands {
+		if d.Height > 0.5 {
+			t.Fatalf("narrow line height %v > 1/2 after clamp", d.Height)
+		}
+	}
+	// MixedHeights keeps large HMin untouched: the [HMin, 1] range is valid.
+	cfg := TreeConfig{Vertices: 8, Trees: 1, Demands: 4, Heights: MixedHeights, HMin: 0.8}
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HMin != 0.8 {
+		t.Fatalf("mixed HMin clamped to %v, want 0.8 untouched", cfg.HMin)
+	}
+}

@@ -93,3 +93,11 @@ func SolveLine(in *LineInstance, opts Options) (*Result, error) {
 	}
 	return solveItems(items, opts, unitHeights(items), toAssignment)
 }
+
+// SolveLine runs the solver's configured algorithm on a line-network
+// instance. Line instances carry no tree decomposition, so there is nothing
+// to cache — the call exists so batch users drive every workload through
+// one Solver (and its Parallelism setting).
+func (s *Solver) SolveLine(in *LineInstance) (*Result, error) {
+	return SolveLine(in, s.opts)
+}

@@ -164,12 +164,33 @@ type Options struct {
 	// decomposition (tree instances only); default is the paper's ideal
 	// decomposition.
 	Decomposition engine.DecompKind
+	// Parallelism is the number of worker goroutines of the sharded solve
+	// pipeline: the conflict graph is decomposed into connected components
+	// and the epoch/stage/step schedule runs per component on the pool.
+	// Results are bit-identical at every setting (per-owner PRNG streams are
+	// shard-independent); 0 or 1 runs the serial engine. Ignored by the
+	// Simulate execution path and the sequential/exact algorithms.
+	Parallelism int
 }
 
 func (o *Options) normalize() {
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.1
 	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+}
+
+// slackFactor is the 1/λ factor of the schedule that ran: the multi-stage
+// ξ-ladder proves λ = 1-ε, while the single-stage Panconesi–Sozio-style
+// schedule only proves λ = 1/(5+ε) — its guarantee must scale by 5+ε, not
+// by the ladder's tighter 1/(1-ε).
+func (o Options) slackFactor() float64 {
+	if o.SingleStage {
+		return 5 + o.Epsilon
+	}
+	return 1 / (1 - o.Epsilon)
 }
 
 // Assignment is one scheduled demand in a solution.
@@ -213,6 +234,12 @@ func Solve(in *Instance, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return solveTreeItems(m, items, opts)
+}
+
+// solveTreeItems runs the framework algorithms over items built from a tree
+// model instance; shared by Solve and the caching Solver.
+func solveTreeItems(m *model.Instance, items []engine.Item, opts Options) (*Result, error) {
 	dis := m.Expand()
 	toAssignment := func(id int) Assignment {
 		return Assignment{Demand: dis[id].Demand, Network: dis[id].Tree}
@@ -301,13 +328,13 @@ func solveItems(items []engine.Item, opts Options, unit bool, toAssignment func(
 }
 
 func runUnit(items []engine.Item, cfg engine.Config, opts Options, out *Result) ([]int, error) {
-	eres, err := engine.Run(items, cfg)
+	eres, err := engine.RunParallel(items, cfg, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	out.Profit = eres.Profit
 	out.DualBound = eres.Bound
-	out.Guarantee = float64(eres.Delta+1) / (1 - cfg.Epsilon)
+	out.Guarantee = float64(eres.Delta+1) * opts.slackFactor()
 	if !opts.Simulate {
 		return eres.Selected, nil
 	}
@@ -323,14 +350,14 @@ func runUnit(items []engine.Item, cfg engine.Config, opts Options, out *Result) 
 }
 
 func runArbitrary(items []engine.Item, cfg engine.Config, opts Options, out *Result) ([]int, error) {
-	ares, err := engine.RunArbitrary(items, cfg)
+	ares, err := engine.RunArbitraryParallel(items, cfg, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	delta := engine.MaxCritical(items)
 	out.Profit = ares.Profit
 	out.DualBound = ares.Bound
-	out.Guarantee = float64((delta+1)+(2*delta*delta+1)) / (1 - cfg.Epsilon)
+	out.Guarantee = float64((delta+1)+(2*delta*delta+1)) * opts.slackFactor()
 	if !opts.Simulate {
 		return ares.Selected, nil
 	}

@@ -1,0 +1,114 @@
+package treesched_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	treesched "treesched"
+)
+
+// batchInstance builds a fresh multi-network instance for batch tests; the
+// demand mix keeps several conflict components alive so the sharded
+// pipeline actually shards.
+func batchInstance(t *testing.T) *treesched.Instance {
+	t.Helper()
+	inst := treesched.NewInstance(12)
+	for q := 0; q < 3; q++ {
+		if _, err := inst.AddTree([][2]int{
+			{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 5}, {5, 6}, {2, 7}, {7, 8}, {8, 9}, {9, 10}, {5, 11},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profits := []float64{5, 3, 2, 4, 7, 1.5, 2.5, 6}
+	ends := [][2]int{{0, 4}, {6, 11}, {3, 9}, {2, 10}, {1, 8}, {5, 7}, {4, 6}, {0, 10}}
+	for i, e := range ends {
+		inst.AddDemand(e[0], e[1], profits[i], treesched.Access(i%3))
+	}
+	return inst
+}
+
+// TestSolverMatchesSolve pins the caching Solver to the one-shot Solve:
+// same options, same instance, identical results — and the decomposition
+// cache is hit on repeated solves over the same networks.
+func TestSolverMatchesSolve(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 3}
+	want, err := treesched.Solve(batchInstance(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := treesched.NewSolver(opts)
+	for round := 0; round < 3; round++ {
+		got, err := s.Solve(batchInstance(t))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.Profit != want.Profit || got.DualBound != want.DualBound ||
+			!reflect.DeepEqual(got.Assignments, want.Assignments) {
+			t.Fatalf("round %d: solver diverged from Solve: %+v vs %+v", round, got, want)
+		}
+	}
+	// The three networks are structurally identical, so one cached layout
+	// serves them all, across all rounds and distinct Instance values.
+	if n := s.CachedLayouts(); n != 1 {
+		t.Errorf("cached layouts = %d, want 1 (identical networks share one entry)", n)
+	}
+}
+
+// TestSolverParallelismBitIdentical asserts the public batch surface keeps
+// the engine's guarantee: any Parallelism produces the serial answer.
+func TestSolverParallelismBitIdentical(t *testing.T) {
+	serial, err := treesched.Solve(batchInstance(t), treesched.Options{Epsilon: 0.1, Seed: 5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 5, Parallelism: p})
+		par, err := s.Solve(batchInstance(t))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if par.Profit != serial.Profit || par.DualBound != serial.DualBound ||
+			!reflect.DeepEqual(par.Assignments, serial.Assignments) {
+			t.Fatalf("parallelism %d diverged: %+v vs %+v", p, par, serial)
+		}
+	}
+}
+
+// TestSingleStageGuarantee is the regression test for the ablation
+// schedule's reported factor: the Panconesi–Sozio-style single stage proves
+// only λ = 1/(5+ε), so its Guarantee must carry the 5+ε factor rather than
+// the multi-stage ladder's 1/(1-ε).
+func TestSingleStageGuarantee(t *testing.T) {
+	inst, tid := paperTree(t)
+	inst.AddDemand(3, 12, 5, treesched.Access(tid))
+	inst.AddDemand(9, 10, 3, treesched.Access(tid))
+	inst.AddDemand(3, 11, 4, treesched.Access(tid))
+
+	multi, err := treesched.Solve(inst, treesched.Options{Epsilon: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := treesched.Solve(inst, treesched.Options{Epsilon: 0.1, Seed: 1, SingleStage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Δ+1)·(5+ε) vs (Δ+1)/(1-ε): same Δ, so the ratio must be exactly
+	// (5+ε)(1-ε).
+	wantRatio := (5 + 0.1) * (1 - 0.1)
+	if ratio := single.Guarantee / multi.Guarantee; math.Abs(ratio-wantRatio) > 1e-9 {
+		t.Errorf("single/multi guarantee ratio = %v, want %v", ratio, wantRatio)
+	}
+	if single.Guarantee <= multi.Guarantee {
+		t.Errorf("single-stage guarantee %v not weaker than multi-stage %v", single.Guarantee, multi.Guarantee)
+	}
+	// The reported factor must still be honest against the exact optimum.
+	exact, err := treesched.Solve(inst, treesched.Options{Algorithm: treesched.ExactSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Profit*single.Guarantee < exact.Profit-1e-9 {
+		t.Errorf("single-stage guarantee violated: %v * %v < %v", single.Profit, single.Guarantee, exact.Profit)
+	}
+}
