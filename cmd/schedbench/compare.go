@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements -compare: diff two treesched/bench/v1 reports and
+// print per-scenario speedups, optionally failing when a scenario regressed
+// beyond a threshold — the CI regression gate runs
+//
+//	schedbench -compare -max-regression 0.15 -at m=768 old.json new.json
+//
+// against the checked-in previous snapshot. Scenarios are matched by
+// (name, parallelism); scenarios present in only one report are listed but
+// never gated.
+
+// loadReport reads and validates one treesched/bench/v1 document.
+func loadReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchSchema)
+	}
+	return &r, nil
+}
+
+type compareKey struct {
+	name        string
+	parallelism int
+}
+
+// runCompare diffs oldPath vs newPath. With maxRegression > 0 it exits with
+// an error when a matched scenario's ns/op grew by more than that fraction;
+// `at` restricts the gate (not the report) to scenarios whose name contains
+// the substring.
+func runCompare(oldPath, newPath string, maxRegression float64, at string) error {
+	oldR, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldR.Quick != newR.Quick {
+		fmt.Printf("note: comparing quick=%v against quick=%v runs; overlapping scenarios only\n",
+			oldR.Quick, newR.Quick)
+	}
+	oldBy := make(map[compareKey]BenchResult)
+	for _, r := range oldR.Results {
+		oldBy[compareKey{r.Name, r.Parallelism}] = r
+	}
+
+	fmt.Printf("%-24s %3s %14s %14s %9s\n", "scenario", "p", "old ns/op", "new ns/op", "speedup")
+	var regressions []string
+	matched := 0
+	gated := 0
+	for _, nr := range newR.Results {
+		or, ok := oldBy[compareKey{nr.Name, nr.Parallelism}]
+		if !ok {
+			fmt.Printf("%-24s %3d %14s %14d %9s\n", nr.Name, nr.Parallelism, "-", nr.NsPerOp, "new")
+			continue
+		}
+		matched++
+		delete(oldBy, compareKey{nr.Name, nr.Parallelism})
+		speedup := float64(or.NsPerOp) / float64(nr.NsPerOp)
+		fmt.Printf("%-24s %3d %14d %14d %8.2fx\n", nr.Name, nr.Parallelism, or.NsPerOp, nr.NsPerOp, speedup)
+		if maxRegression > 0 && (at == "" || strings.Contains(nr.Name, at)) {
+			gated++
+			if float64(nr.NsPerOp) > float64(or.NsPerOp)*(1+maxRegression) {
+				regressions = append(regressions, fmt.Sprintf("%s p=%d: %d -> %d ns/op (%.1f%% slower)",
+					nr.Name, nr.Parallelism, or.NsPerOp, nr.NsPerOp, 100*(1/speedup-1)))
+			}
+		}
+	}
+	gone := make([]compareKey, 0, len(oldBy))
+	for k := range oldBy {
+		gone = append(gone, k)
+	}
+	sort.Slice(gone, func(i, j int) bool {
+		if gone[i].name != gone[j].name {
+			return gone[i].name < gone[j].name
+		}
+		return gone[i].parallelism < gone[j].parallelism
+	})
+	for _, k := range gone {
+		fmt.Printf("%-24s %3d %14d %14s %9s\n", k.name, k.parallelism, oldBy[k].NsPerOp, "-", "gone")
+	}
+	if matched == 0 {
+		return fmt.Errorf("no overlapping scenarios between %s and %s", oldPath, newPath)
+	}
+	if maxRegression > 0 {
+		if gated == 0 {
+			return fmt.Errorf("regression gate matched no scenarios (at=%q)", at)
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("throughput regressed beyond %.0f%%:\n  %s",
+				100*maxRegression, strings.Join(regressions, "\n  "))
+		}
+		fmt.Printf("regression gate passed: %d scenario(s) within %.0f%% of %s\n", gated, 100*maxRegression, oldPath)
+	}
+	return nil
+}

@@ -2,12 +2,15 @@
 // experiments E1..E12 and ablations A1..A3) and prints the result tables
 // recorded in EXPERIMENTS.md. With -bench-json it instead runs the solve
 // performance suite and writes a machine-readable treesched/bench/v1
-// report (see BenchReport) so perf can be tracked across commits.
+// report (see BenchReport) so perf can be tracked across commits; with
+// -compare it diffs two such reports and prints per-scenario speedups,
+// optionally gating on a maximum regression.
 //
 // Usage:
 //
 //	schedbench [-experiment all|E1|...|A3] [-seed N] [-quick]
 //	schedbench -bench-json FILE [-seed N] [-quick]
+//	schedbench -compare [-max-regression F] [-at SUBSTR] OLD.json NEW.json
 package main
 
 import (
@@ -25,8 +28,22 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base random seed")
 		quick     = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		benchJSON = flag.String("bench-json", "", "run the solve perf suite and write a treesched/bench/v1 JSON report to this file")
+		compare   = flag.Bool("compare", false, "diff two treesched/bench/v1 reports (args: OLD.json NEW.json) and print per-scenario speedups")
+		maxRegr   = flag.Float64("max-regression", 0, "with -compare: exit nonzero if a gated scenario's ns/op grew by more than this fraction (0 = report only)")
+		at        = flag.String("at", "", "with -compare -max-regression: gate only scenarios whose name contains this substring")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "schedbench: -compare needs exactly two report paths: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *maxRegr, *at); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *seed, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "schedbench:", err)

@@ -18,6 +18,62 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+// writeReport dumps a minimal valid treesched/bench/v1 report for compare
+// tests.
+func writeReport(t *testing.T, path string, results []BenchResult) {
+	t.Helper()
+	data, err := json.Marshal(&BenchReport{Schema: benchSchema, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.json", dir+"/new.json"
+	writeReport(t, oldPath, []BenchResult{
+		{Name: "unit-tree/m=768", Parallelism: 1, NsPerOp: 27_000_000},
+		{Name: "unit-tree/m=48", Parallelism: 1, NsPerOp: 900_000},
+		{Name: "unit-tree/gone", Parallelism: 1, NsPerOp: 5},
+	})
+	writeReport(t, newPath, []BenchResult{
+		{Name: "unit-tree/m=768", Parallelism: 1, NsPerOp: 14_000_000},
+		{Name: "unit-tree/m=48", Parallelism: 1, NsPerOp: 1_500_000}, // regressed
+		{Name: "unit-tree/new", Parallelism: 1, NsPerOp: 7},
+	})
+	// Report-only mode never fails.
+	if err := runCompare(oldPath, newPath, 0, ""); err != nil {
+		t.Fatalf("report-only compare: %v", err)
+	}
+	// Gate restricted to the improved scenario passes.
+	if err := runCompare(oldPath, newPath, 0.15, "m=768"); err != nil {
+		t.Fatalf("gate on improved scenario: %v", err)
+	}
+	// Gate over everything catches the m=48 regression.
+	if err := runCompare(oldPath, newPath, 0.15, ""); err == nil {
+		t.Fatal("regressed scenario passed the gate")
+	}
+	// A gate that matches nothing is an error, not a silent pass.
+	if err := runCompare(oldPath, newPath, 0.15, "nonexistent"); err == nil {
+		t.Fatal("empty gate passed")
+	}
+	// Disjoint reports are an error.
+	writeReport(t, newPath, []BenchResult{{Name: "other", Parallelism: 1, NsPerOp: 1}})
+	if err := runCompare(oldPath, newPath, 0, ""); err == nil {
+		t.Fatal("disjoint reports compared successfully")
+	}
+	// Schema mismatches are rejected.
+	if err := os.WriteFile(newPath, []byte(`{"schema":"bogus/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(oldPath, newPath, 0, ""); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+}
+
 func TestBenchJSONReport(t *testing.T) {
 	path := t.TempDir() + "/bench.json"
 	if err := runBenchJSON(path, 1, true); err != nil {

@@ -34,13 +34,18 @@
 //
 // Solve prepares an instance from scratch on every call. For batch use —
 // re-solving as demands arrive and depart on fixed networks — construct a
-// Solver instead: it carries one Options and caches the per-tree layered
-// decompositions (keyed by network structure), so repeated solves over the
-// same networks skip the decomposition work:
+// Solver instead: it carries one Options and caches the Config-independent
+// preparation work at two levels, keyed by instance content. Per-tree
+// layered decompositions (keyed by network structure) are reused whenever
+// the same networks reappear; fully prepared item sets — the interned
+// dense dual layout plus the §2 conflict adjacency and its component
+// decomposition — are reused whenever the complete instance recurs, so the
+// steady state skips item building, interning and conflict construction
+// entirely and pays only for the schedule itself:
 //
 //	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Parallelism: 8})
-//	res1, _ := s.Solve(inst1) // decomposes inst1's trees, caches layouts
-//	res2, _ := s.Solve(inst2) // same networks: cache hit, straight to solving
+//	res1, _ := s.Solve(inst1) // decomposes, interns, builds conflicts, caches
+//	res2, _ := s.Solve(inst2) // same instance: straight into the schedule
 //
 // Options.Parallelism sets the worker count of the sharded solve pipeline:
 // the conflict graph of §2 decomposes into connected components that never
@@ -50,6 +55,33 @@
 // Parallelism (and the serial engine) produce bit-identical selections,
 // profit and dual bound — asserted by the determinism suite. A Solver is
 // safe for concurrent use.
+//
+// # Dense indexed dual state
+//
+// The inner loop of the two-phase framework tests ξ-satisfaction —
+// α(a) + h·Σ_{e∈path} β(e) ≥ ξ·p(d) — once per live demand instance per
+// step. The dual state backing that test is dense: every demand id and
+// every EdgeKey is interned once per item set into contiguous int32 slots
+// (internal/dual.Index over internal/model.EdgeInterner), α and β live in
+// flat []float64 slices, and each item carries precomputed index lists for
+// its path and critical set, so satisfaction scans, raises, the β-replay of
+// announced raises, and the greedy second phase are tight loops over int
+// slices with no map hashing. The invariants that keep the three
+// executions — serial engine, sharded pipeline, message-passing simulation
+// — bitwise equal are unchanged: indices are a pure storage relabeling
+// (each execution owns its own index scope; values merge and compare by
+// external key), the arithmetic applies the same deltas to the same
+// logical variables in the same order as the map-backed representation
+// (asserted by a shadow-replay determinism suite), and the dual objective
+// sums in sorted external-key order.
+//
+// Luby election priorities come from per-owner splitmix64 streams
+// (engine.NewStream), replacing the earlier math/rand sources whose
+// 607-word seeding tables dominated fragmented runs. Engine and simulation
+// switched streams in the same commit and still seed identically per
+// (seed, owner), so they remain bit-identical to each other; absolute
+// outputs for a given seed differ from pre-switch releases, and the perf
+// trajectory re-baselined once at BENCH_dense_state.json.
 //
 // # Benchmark telemetry: the treesched/bench/v1 schema
 //
@@ -68,7 +100,14 @@
 //
 // Scenarios cover the contended single-component sizes of
 // BenchmarkEngineUnitTree (unit-tree/m=48..768) and a sharded fleet of
-// disjoint networks (unit-tree/fleet), the pipeline's best case.
+// disjoint networks (unit-tree/fleet; unit-tree/fleet-quick in -quick
+// runs), the pipeline's best case.
+//
+// `schedbench -compare OLD.json NEW.json` diffs two reports by
+// (scenario, parallelism) and prints per-size speedups;
+// `-max-regression 0.15 -at m=768` turns it into the CI regression gate,
+// failing when the named scenario's ns/op grew beyond the threshold
+// relative to the checked-in snapshot.
 //
 // # The Simulate execution path
 //

@@ -11,7 +11,7 @@
 // engine.SelectGreedy). Both the in-process engine and the nodes here
 // funnel every dual mutation and every satisfaction test through that one
 // implementation, and both draw Luby priorities from identical per-owner
-// PRNG streams (engine.OwnerSeed) in identical order, so for the same
+// splitmix64 streams (engine.NewStream) in identical order, so for the same
 // (items, Config) the two executions are bit-identical: same raises, same
 // δ values, same elections, same Selected set, same Profit. Experiment A3
 // and the package's equivalence tests assert exactly this.

@@ -271,14 +271,15 @@ func TestSharedCoreBetaGain(t *testing.T) {
 	for _, mode := range []engine.Mode{engine.Unit, engine.Narrow} {
 		raiser := engine.NewCore(mode)
 		observer := engine.NewCore(mode)
-		delta := raiser.Raise(&it)
+		v := raiser.Intern(&it)
+		delta := raiser.Raise(&v)
 		if delta <= 0 {
 			t.Fatalf("%v: delta = %v", mode, delta)
 		}
-		observer.ApplyRaise(it.Critical, delta)
+		observer.ApplyRaise(observer.Dual.Index().Path(it.Critical), delta)
 		for _, e := range it.Critical {
-			if raiser.Dual.Beta[e] != observer.Dual.Beta[e] {
-				t.Errorf("%v: β(%v) raiser %v observer %v", mode, e, raiser.Dual.Beta[e], observer.Dual.Beta[e])
+			if raiser.Dual.BetaOf(e) != observer.Dual.BetaOf(e) {
+				t.Errorf("%v: β(%v) raiser %v observer %v", mode, e, raiser.Dual.BetaOf(e), observer.Dual.BetaOf(e))
 			}
 		}
 	}

@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"treesched/internal/engine"
@@ -29,17 +28,19 @@ type node struct {
 	id         int // node index in the simnet network
 	plan       *engine.Plan
 	mode       engine.Mode
-	budget     int // B: Luby iterations per step
-	period     int // 2B+1 rounds per step
-	totalSteps int // T
-	lastRound  int // ScheduleLength-1
-	items      []engine.Item // own items, ascending by ID
-	neighbors  []int         // topology neighbor node ids, sorted
-	core       *engine.Core  // own α plus local β copies
-	rng        *rand.Rand
+	budget     int               // B: Luby iterations per step
+	period     int               // 2B+1 rounds per step
+	totalSteps int               // T
+	lastRound  int               // ScheduleLength-1
+	items      []engine.Item     // own items, ascending by ID
+	views      []engine.ItemView // dense views over the core's index, aligned with items
+	neighbors  []int             // topology neighbor node ids, sorted
+	core       *engine.Core      // own α plus local β copies
+	rng        engine.Stream
 
 	// learned from round-0 setup descriptors
 	remoteDesc  map[int]itemDesc     // remote item id -> descriptor
+	remoteCrit  map[int][]int32      // remote item id -> critical set interned into the core's index
 	remoteOwner map[int]int          // remote item id -> node id
 	conflicts   map[int]map[int]bool // own item id -> conflicting item ids
 	targets     map[int][]int        // own item id -> interested neighbor node ids
@@ -65,15 +66,23 @@ func newNode(id int, items []engine.Item, cfg engine.Config, plan *engine.Plan, 
 		items:       items,
 		core:        engine.NewCore(cfg.Mode),
 		remoteDesc:  make(map[int]itemDesc),
+		remoteCrit:  make(map[int][]int32),
 		remoteOwner: make(map[int]int),
 		drawn:       make(map[int]float64),
 		remoteDraws: make(map[int]float64),
+	}
+	// Intern the node's own items into its local dual index once; every
+	// satisfaction test and raise below addresses the dual state through
+	// these dense views, exactly as the engine's layout does.
+	n.views = make([]engine.ItemView, len(items))
+	for i := range items {
+		n.views[i] = n.core.Intern(&items[i])
 	}
 	n.lastRound = ScheduleLength(n.totalSteps, budget) - 1
 	// Every processor seeds its PRNG stream from the shared run seed and its
 	// own identity (the demand id), exactly as the engine derives per-owner
 	// streams, so draws coincide.
-	n.rng = rand.New(rand.NewSource(engine.OwnerSeed(cfg.Seed, items[0].Owner)))
+	n.rng = engine.NewStream(cfg.Seed, items[0].Owner)
 	return n
 }
 
@@ -87,6 +96,10 @@ func (n *node) Round(round int, inbox []simnet.Message) []simnet.Message {
 		case *setupPayload:
 			for _, d := range p.Items {
 				n.remoteDesc[d.Item] = d
+				// Intern the remote critical set once: every later raise
+				// announcement for this item replays as a tight loop over
+				// these dense β indices.
+				n.remoteCrit[d.Item] = n.core.Dual.Index().Path(d.Critical)
 				n.remoteOwner[d.Item] = m.From
 			}
 		case *drawPayload:
@@ -162,7 +175,7 @@ func (n *node) NextActiveRound(now int) int {
 
 func (n *node) hasUnsatisfied(epoch int, thresh float64) bool {
 	for i := range n.items {
-		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.items[i], thresh) {
+		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
 			return true
 		}
 	}
@@ -258,7 +271,7 @@ func (n *node) beginStep(t int) {
 	}
 	n.live = n.live[:0]
 	for i := range n.items {
-		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.items[i], thresh) {
+		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
 			n.live = append(n.live, n.items[i].ID)
 		}
 	}
@@ -324,7 +337,7 @@ func (n *node) electAndRaise(t int) []simnet.Message {
 	eliminated := make(map[int]bool)
 	entries := make(map[int][]raiseEntry)
 	for _, x := range winners {
-		delta := n.core.Raise(n.itemByID(x))
+		delta := n.core.Raise(n.viewByID(x))
 		n.raises = append(n.raises, raiseRecord{Step: t, Item: x, Delta: delta})
 		eliminated[x] = true
 		for w := range n.conflicts[x] {
@@ -347,15 +360,16 @@ func (n *node) electAndRaise(t int) []simnet.Message {
 }
 
 // absorbRaises replays remote raises: β copies gain exactly what the raiser
-// added (via the shared BetaGain rule), and live items conflicting with the
-// raised item leave the current election.
+// added (via the shared BetaGain rule over the interned critical indices),
+// and live items conflicting with the raised item leave the current
+// election.
 func (n *node) absorbRaises(p *raisePayload) {
 	for _, r := range p.Raises {
-		d, ok := n.remoteDesc[r.Item]
+		crit, ok := n.remoteCrit[r.Item]
 		if !ok {
 			panic(fmt.Sprintf("dist: node %d: raise announcement for unknown item %d", n.id, r.Item))
 		}
-		n.core.ApplyRaise(d.Critical, r.Delta)
+		n.core.ApplyRaise(crit, r.Delta)
 		if len(n.live) == 0 {
 			continue
 		}
@@ -384,10 +398,10 @@ func (n *node) packMessages(draws map[int][]drawEntry, raises map[int][]raiseEnt
 	return out
 }
 
-func (n *node) itemByID(id int) *engine.Item {
+func (n *node) viewByID(id int) *engine.ItemView {
 	for i := range n.items {
 		if n.items[i].ID == id {
-			return &n.items[i]
+			return &n.views[i]
 		}
 	}
 	panic(fmt.Sprintf("dist: node %d does not own item %d", n.id, id))
@@ -403,7 +417,7 @@ func (n *node) finalCheck() {
 	}
 	thresh := n.plan.Thresholds[n.plan.Stages-1]
 	for i := range n.items {
-		if n.core.Unsatisfied(&n.items[i], thresh) {
+		if n.core.Unsatisfied(&n.views[i], thresh) {
 			panic(fmt.Sprintf("dist: node %d: item %d unsatisfied at final threshold %.6f; step cap exceeded",
 				n.id, n.items[i].ID, thresh))
 		}

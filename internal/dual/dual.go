@@ -3,10 +3,29 @@
 // of the two-phase framework for both the unit-height case (§3.2) and the
 // narrow-instance case (§6.1), ξ-satisfaction tests, and the weak-duality
 // upper bound obtained by scaling an approximately-feasible assignment.
+//
+// # Dense indexed state
+//
+// The inner loop of the framework tests ξ-satisfaction —
+// α(a) + h·Σ_{e∈path} β(e) ≥ ξ·p(d) — once per live item per step, and the
+// map-backed representation paid an EdgeKey hash per path edge on every
+// test (BetaSum was a top profile entry). The assignment therefore keeps
+// α and β in dense []float64 slices addressed through an Index that interns
+// demand ids and EdgeKeys to contiguous int32 slots once per item set; the
+// hot-path methods (BetaSum, LHS, Satisfied, RaiseUnit, RaiseNarrow,
+// AddBeta) take precomputed index lists and run as tight loops over int32
+// slices. Key-addressed variants (the ...Keys methods) and the AlphaMap/
+// BetaMap views remain for cold callers — the sequential Appendix-A
+// algorithm, the verify package, and tests.
+//
+// The arithmetic is operation-for-operation identical to the map-backed
+// representation: raises add the same deltas to the same logical variables
+// in the same order, and Value sums over sorted external keys, so dense runs
+// are bitwise equal to map-state runs (asserted by the engine's shadow-replay
+// determinism test).
 package dual
 
 import (
-	"maps"
 	"math"
 	"slices"
 
@@ -17,26 +36,115 @@ import (
 // capacity comparisons throughout the library.
 const Tolerance = 1e-9
 
-// Assignment holds the dual variables. The zero value is not usable;
-// construct with New.
-type Assignment struct {
-	Alpha map[int]float64
-	Beta  map[model.EdgeKey]float64
+// Index interns demand ids and edge keys to dense slots. It is built while
+// preparing an item set (interning is not safe for concurrent use) and is
+// read-only during runs, so one frozen Index may back any number of
+// concurrent Assignments.
+type Index struct {
+	demandSlot map[int]int32
+	demandIDs  []int
+	edges      *model.EdgeInterner
 }
 
-// New returns an empty assignment (all dual variables implicitly zero).
-func New() *Assignment {
-	return &Assignment{
-		Alpha: make(map[int]float64),
-		Beta:  make(map[model.EdgeKey]float64),
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		demandSlot: make(map[int]int32),
+		edges:      model.NewEdgeInterner(),
 	}
 }
 
-// BetaSum returns Σ_{e on path} β(e).
-func (a *Assignment) BetaSum(path []model.EdgeKey) float64 {
+// Demand returns the dense slot of a demand id, interning it when new.
+func (ix *Index) Demand(id int) int32 {
+	if s, ok := ix.demandSlot[id]; ok {
+		return s
+	}
+	s := int32(len(ix.demandIDs))
+	ix.demandSlot[id] = s
+	ix.demandIDs = append(ix.demandIDs, id)
+	return s
+}
+
+// DemandSlot returns the slot of a demand id without interning.
+func (ix *Index) DemandSlot(id int) (int32, bool) {
+	s, ok := ix.demandSlot[id]
+	return s, ok
+}
+
+// DemandID returns the external demand id of a slot.
+func (ix *Index) DemandID(slot int32) int { return ix.demandIDs[slot] }
+
+// NumDemands returns the number of interned demands.
+func (ix *Index) NumDemands() int { return len(ix.demandIDs) }
+
+// Edge returns the dense index of an edge key, interning it when new.
+func (ix *Index) Edge(k model.EdgeKey) int32 { return ix.edges.Intern(k) }
+
+// Path interns every key of path and returns the aligned index list.
+func (ix *Index) Path(path []model.EdgeKey) []int32 { return ix.edges.InternPath(path) }
+
+// EdgeSlot returns the index of an edge key without interning.
+func (ix *Index) EdgeSlot(k model.EdgeKey) (int32, bool) { return ix.edges.Lookup(k) }
+
+// EdgeKey returns the external key of an edge index.
+func (ix *Index) EdgeKey(i int32) model.EdgeKey { return ix.edges.Key(i) }
+
+// NumEdges returns the number of interned edges.
+func (ix *Index) NumEdges() int { return ix.edges.Len() }
+
+// Assignment holds the dual variables as dense slices addressed through its
+// Index. The zero value is not usable; construct with New or NewWithIndex.
+// Slices grow lazily: a slot beyond the current length holds an implicit
+// zero, and every write path grows its slice first, so assignments over a
+// still-growing index (the dist nodes intern remote edges during setup)
+// stay correct.
+type Assignment struct {
+	ix    *Index
+	alpha []float64
+	beta  []float64
+}
+
+// New returns an empty assignment over a fresh private index (all dual
+// variables implicitly zero).
+func New() *Assignment { return NewWithIndex(NewIndex()) }
+
+// NewWithIndex returns an empty assignment over ix, pre-sized to the index's
+// current extent.
+func NewWithIndex(ix *Index) *Assignment {
+	return &Assignment{
+		ix:    ix,
+		alpha: make([]float64, ix.NumDemands()),
+		beta:  make([]float64, ix.NumEdges()),
+	}
+}
+
+// Index returns the assignment's index.
+func (a *Assignment) Index() *Index { return a.ix }
+
+// Alpha returns α at a demand slot.
+func (a *Assignment) Alpha(slot int32) float64 {
+	if int(slot) < len(a.alpha) {
+		return a.alpha[slot]
+	}
+	return 0
+}
+
+// Beta returns β at an edge index.
+func (a *Assignment) Beta(i int32) float64 {
+	if int(i) < len(a.beta) {
+		return a.beta[i]
+	}
+	return 0
+}
+
+// BetaSum returns Σ_{e on path} β(e) over interned edge indices.
+func (a *Assignment) BetaSum(path []int32) float64 {
+	b := a.beta
 	s := 0.0
-	for _, e := range path {
-		s += a.Beta[e]
+	for _, i := range path {
+		if int(i) < len(b) {
+			s += b[i]
+		}
 	}
 	return s
 }
@@ -44,28 +152,50 @@ func (a *Assignment) BetaSum(path []model.EdgeKey) float64 {
 // LHS returns the left-hand side of the dual constraint of a demand
 // instance: α(a_d) + coeff·Σ β(e). In the unit-height LP the coefficient is
 // 1; in the arbitrary-height LP it is the instance height h(d).
-func (a *Assignment) LHS(demand int, coeff float64, path []model.EdgeKey) float64 {
-	return a.Alpha[demand] + coeff*a.BetaSum(path)
+func (a *Assignment) LHS(slot int32, coeff float64, path []int32) float64 {
+	return a.Alpha(slot) + coeff*a.BetaSum(path)
 }
 
 // Satisfied reports whether the instance's dual constraint is ξ-satisfied:
 // LHS ≥ ξ·p(d), with relative tolerance.
-func (a *Assignment) Satisfied(demand int, coeff float64, path []model.EdgeKey, xi, profit float64) bool {
-	return a.LHS(demand, coeff, path) >= xi*profit-Tolerance*profit
+func (a *Assignment) Satisfied(slot int32, coeff float64, path []int32, xi, profit float64) bool {
+	return a.LHS(slot, coeff, path) >= xi*profit-Tolerance*profit
+}
+
+// growAlpha ensures the α slice covers slot.
+func (a *Assignment) growAlpha(slot int32) {
+	if int(slot) >= len(a.alpha) {
+		a.alpha = append(a.alpha, make([]float64, int(slot)+1-len(a.alpha))...)
+	}
+}
+
+// growBeta ensures the β slice covers every index in idxs.
+func (a *Assignment) growBeta(idxs []int32) {
+	hi := int32(-1)
+	for _, i := range idxs {
+		if i > hi {
+			hi = i
+		}
+	}
+	if int(hi) >= len(a.beta) {
+		a.beta = append(a.beta, make([]float64, int(hi)+1-len(a.beta))...)
+	}
 }
 
 // RaiseUnit performs the unit-height raise of §3.2 on the instance with the
-// given demand, path and critical edge set π: δ = s/(|π|+1), α += δ and
+// given demand slot, path and critical edge set π: δ = s/(|π|+1), α += δ and
 // β(e) += δ for e ∈ π. It returns δ. The constraint becomes tight.
-func (a *Assignment) RaiseUnit(demand int, profit float64, path, critical []model.EdgeKey) float64 {
-	s := profit - a.LHS(demand, 1, path)
+func (a *Assignment) RaiseUnit(slot int32, profit float64, path, critical []int32) float64 {
+	s := profit - a.LHS(slot, 1, path)
 	if s <= 0 {
 		return 0
 	}
 	delta := s / float64(len(critical)+1)
-	a.Alpha[demand] += delta
-	for _, e := range critical {
-		a.Beta[e] += delta
+	a.growAlpha(slot)
+	a.alpha[slot] += delta
+	a.growBeta(critical)
+	for _, i := range critical {
+		a.beta[i] += delta
 	}
 	return delta
 }
@@ -74,31 +204,152 @@ func (a *Assignment) RaiseUnit(demand int, profit float64, path, critical []mode
 // s = p - (α + h·Σβ), δ = s/(1 + 2h|π|²), α += δ and β(e) += 2|π|δ for
 // e ∈ π. It returns δ. The constraint becomes tight: the LHS gains
 // δ + h·|π|·2|π|δ = s.
-func (a *Assignment) RaiseNarrow(demand int, profit, height float64, path, critical []model.EdgeKey) float64 {
-	s := profit - a.LHS(demand, height, path)
+func (a *Assignment) RaiseNarrow(slot int32, profit, height float64, path, critical []int32) float64 {
+	s := profit - a.LHS(slot, height, path)
 	if s <= 0 {
 		return 0
 	}
 	k := float64(len(critical))
 	delta := s / (1 + 2*height*k*k)
-	a.Alpha[demand] += delta
-	for _, e := range critical {
-		a.Beta[e] += 2 * k * delta
+	a.growAlpha(slot)
+	a.alpha[slot] += delta
+	a.growBeta(critical)
+	for _, i := range critical {
+		a.beta[i] += 2 * k * delta
 	}
 	return delta
 }
 
-// Value returns the dual objective Σα + Σβ. The sum runs over sorted keys
-// so that equal assignments produce bitwise-equal values regardless of map
-// iteration order — the sharded parallel engine merges per-component duals
-// and must reproduce the serial run's Bound exactly.
-func (a *Assignment) Value() float64 {
-	v := 0.0
-	for _, k := range slices.Sorted(maps.Keys(a.Alpha)) {
-		v += a.Alpha[k]
+// AddBeta adds g to β at every index of critical: the β-only replay of a
+// raise announced by another processor.
+func (a *Assignment) AddBeta(critical []int32, g float64) {
+	a.growBeta(critical)
+	for _, i := range critical {
+		a.beta[i] += g
 	}
-	for _, k := range slices.Sorted(maps.Keys(a.Beta)) {
-		v += a.Beta[k]
+}
+
+// --- key-addressed compatibility layer (cold paths) ----------------------
+
+// AlphaOf returns α of a demand id.
+func (a *Assignment) AlphaOf(demand int) float64 {
+	if s, ok := a.ix.DemandSlot(demand); ok {
+		return a.Alpha(s)
+	}
+	return 0
+}
+
+// BetaOf returns β of an edge key.
+func (a *Assignment) BetaOf(k model.EdgeKey) float64 {
+	if i, ok := a.ix.EdgeSlot(k); ok {
+		return a.Beta(i)
+	}
+	return 0
+}
+
+// AddAlphaOf adds v to α of a demand id, interning it when new.
+func (a *Assignment) AddAlphaOf(demand int, v float64) {
+	s := a.ix.Demand(demand)
+	a.growAlpha(s)
+	a.alpha[s] += v
+}
+
+// AddBetaOf adds v to β of an edge key, interning it when new.
+func (a *Assignment) AddBetaOf(k model.EdgeKey, v float64) {
+	i := a.ix.Edge(k)
+	a.growBeta([]int32{i})
+	a.beta[i] += v
+}
+
+// BetaSumKeys is BetaSum over edge keys.
+func (a *Assignment) BetaSumKeys(path []model.EdgeKey) float64 {
+	s := 0.0
+	for _, k := range path {
+		s += a.BetaOf(k)
+	}
+	return s
+}
+
+// LHSKeys is LHS over a demand id and edge keys.
+func (a *Assignment) LHSKeys(demand int, coeff float64, path []model.EdgeKey) float64 {
+	return a.AlphaOf(demand) + coeff*a.BetaSumKeys(path)
+}
+
+// SatisfiedKeys is Satisfied over a demand id and edge keys.
+func (a *Assignment) SatisfiedKeys(demand int, coeff float64, path []model.EdgeKey, xi, profit float64) bool {
+	return a.LHSKeys(demand, coeff, path) >= xi*profit-Tolerance*profit
+}
+
+// RaiseUnitKeys is RaiseUnit over a demand id and edge keys, interning them
+// when new.
+func (a *Assignment) RaiseUnitKeys(demand int, profit float64, path, critical []model.EdgeKey) float64 {
+	return a.RaiseUnit(a.ix.Demand(demand), profit, a.ix.Path(path), a.ix.Path(critical))
+}
+
+// RaiseNarrowKeys is RaiseNarrow over a demand id and edge keys, interning
+// them when new.
+func (a *Assignment) RaiseNarrowKeys(demand int, profit, height float64, path, critical []model.EdgeKey) float64 {
+	return a.RaiseNarrow(a.ix.Demand(demand), profit, height, a.ix.Path(path), a.ix.Path(critical))
+}
+
+// AlphaMap returns the nonzero α values keyed by demand id — the map view
+// the pre-dense representation stored directly (raises only ever insert
+// nonzero values, so zero slots correspond to absent keys).
+func (a *Assignment) AlphaMap() map[int]float64 {
+	m := make(map[int]float64)
+	for s, v := range a.alpha {
+		if v != 0 {
+			m[a.ix.DemandID(int32(s))] = v
+		}
+	}
+	return m
+}
+
+// BetaMap returns the nonzero β values keyed by edge key.
+func (a *Assignment) BetaMap() map[model.EdgeKey]float64 {
+	m := make(map[model.EdgeKey]float64)
+	for i, v := range a.beta {
+		if v != 0 {
+			m[a.ix.EdgeKey(int32(i))] = v
+		}
+	}
+	return m
+}
+
+// Value returns the dual objective Σα + Σβ. The sum runs over sorted
+// external keys so that equal assignments produce bitwise-equal values
+// regardless of slot numbering — the sharded parallel engine merges
+// per-component duals into a differently-indexed global assignment and must
+// reproduce the serial run's Bound exactly.
+func (a *Assignment) Value() float64 {
+	demandOrder := make([]int32, len(a.alpha))
+	for s := range demandOrder {
+		demandOrder[s] = int32(s)
+	}
+	slices.SortFunc(demandOrder, func(x, y int32) int {
+		return a.ix.DemandID(x) - a.ix.DemandID(y)
+	})
+	v := 0.0
+	for _, s := range demandOrder {
+		v += a.alpha[s]
+	}
+	edgeOrder := make([]int32, len(a.beta))
+	for i := range edgeOrder {
+		edgeOrder[i] = int32(i)
+	}
+	slices.SortFunc(edgeOrder, func(x, y int32) int {
+		kx, ky := a.ix.EdgeKey(x), a.ix.EdgeKey(y)
+		switch {
+		case kx < ky:
+			return -1
+		case kx > ky:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, i := range edgeOrder {
+		v += a.beta[i]
 	}
 	return v
 }
@@ -113,19 +364,26 @@ type ConstraintView struct {
 
 // Lambda returns the measured slackness parameter: the largest λ such that
 // every constraint is λ-satisfied, i.e. min over constraints of LHS/p,
-// capped at 1. Returns 0 for an empty constraint set.
+// capped at 1. Constraints with p(d) ≤ 0 carry no profit to certify against
+// and are skipped — dividing by them would poison the minimum with NaN/±Inf.
+// Returns 0 for an empty (or entirely profitless) constraint set.
 func (a *Assignment) Lambda(constraints []ConstraintView) float64 {
-	if len(constraints) == 0 {
-		return 0
-	}
-	lambda := 1.0
+	lambda := 0.0
+	seen := false
 	for _, c := range constraints {
-		r := a.LHS(c.Demand, c.Coeff, c.Path) / c.Profit
-		if r < lambda {
+		if !(c.Profit > 0) {
+			continue
+		}
+		r := a.LHSKeys(c.Demand, c.Coeff, c.Path) / c.Profit
+		if !seen || r < lambda {
 			lambda = r
+			seen = true
 		}
 	}
-	return lambda
+	if !seen {
+		return 0
+	}
+	return math.Min(lambda, 1)
 }
 
 // Bound returns the weak-duality upper bound on the optimum: scaling the
@@ -139,14 +397,7 @@ func (a *Assignment) Bound(constraints []ConstraintView) float64 {
 	return a.Value() / lambda
 }
 
-// Clone returns a deep copy of the assignment.
+// Clone returns a deep copy of the assignment sharing the (read-only) index.
 func (a *Assignment) Clone() *Assignment {
-	c := New()
-	for k, v := range a.Alpha {
-		c.Alpha[k] = v
-	}
-	for k, v := range a.Beta {
-		c.Beta[k] = v
-	}
-	return c
+	return &Assignment{ix: a.ix, alpha: slices.Clone(a.alpha), beta: slices.Clone(a.beta)}
 }

@@ -21,18 +21,18 @@ func TestRaiseUnitTightensConstraint(t *testing.T) {
 	a := New()
 	path := keyPath(0, 1, 2, 3, 4)
 	crit := keyPath(0, 1, 3)
-	delta := a.RaiseUnit(7, 10, path, crit)
+	delta := a.RaiseUnitKeys(7, 10, path, crit)
 	if want := 10.0 / 3.0; math.Abs(delta-want) > 1e-12 {
 		t.Fatalf("delta = %v, want %v", delta, want)
 	}
-	if lhs := a.LHS(7, 1, path); math.Abs(lhs-10) > 1e-9 {
+	if lhs := a.LHSKeys(7, 1, path); math.Abs(lhs-10) > 1e-9 {
 		t.Fatalf("LHS after raise = %v, want 10 (tight)", lhs)
 	}
 	// α got δ, each critical edge got δ, non-critical edges got nothing.
-	if a.Alpha[7] != delta {
-		t.Errorf("alpha = %v, want %v", a.Alpha[7], delta)
+	if a.AlphaOf(7) != delta {
+		t.Errorf("alpha = %v, want %v", a.AlphaOf(7), delta)
 	}
-	if a.Beta[model.MakeEdgeKey(0, 2)] != 0 {
+	if a.BetaOf(model.MakeEdgeKey(0, 2)) != 0 {
 		t.Errorf("non-critical edge was raised")
 	}
 }
@@ -40,8 +40,8 @@ func TestRaiseUnitTightensConstraint(t *testing.T) {
 func TestRaiseUnitAlreadyTight(t *testing.T) {
 	a := New()
 	path := keyPath(0, 1)
-	a.RaiseUnit(0, 5, path, path)
-	if d := a.RaiseUnit(0, 5, path, path); d != 0 {
+	a.RaiseUnitKeys(0, 5, path, path)
+	if d := a.RaiseUnitKeys(0, 5, path, path); d != 0 {
 		t.Errorf("second raise returned %v, want 0", d)
 	}
 }
@@ -62,18 +62,18 @@ func TestRaiseNarrowTightensConstraint(t *testing.T) {
 		k := 1 + r.Intn(n)
 		crit := path[:k]
 		// Random prior state.
-		a.Alpha[3] = r.Float64() * profit / 4
+		a.AddAlphaOf(3, r.Float64()*profit/4)
 		for _, e := range path {
-			a.Beta[e] = r.Float64() / 10
+			a.AddBetaOf(e, r.Float64()/10)
 		}
-		if a.LHS(3, h, path) >= profit {
+		if a.LHSKeys(3, h, path) >= profit {
 			return true // already satisfied; raise is a no-op
 		}
-		delta := a.RaiseNarrow(3, profit, h, path, crit)
+		delta := a.RaiseNarrowKeys(3, profit, h, path, crit)
 		if delta <= 0 {
 			return false
 		}
-		return math.Abs(a.LHS(3, h, path)-profit) < 1e-9*profit
+		return math.Abs(a.LHSKeys(3, h, path)-profit) < 1e-9*profit
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -85,8 +85,8 @@ func TestValueAccountsRaises(t *testing.T) {
 	// dual objective (inequality (1) in Lemma 3.1 holds with equality when
 	// no edges are shared).
 	a := New()
-	d1 := a.RaiseUnit(0, 6, keyPath(0, 1, 2), keyPath(0, 1, 2))
-	d2 := a.RaiseUnit(1, 9, keyPath(0, 5, 6, 7), keyPath(0, 5))
+	d1 := a.RaiseUnitKeys(0, 6, keyPath(0, 1, 2), keyPath(0, 1, 2))
+	d2 := a.RaiseUnitKeys(1, 9, keyPath(0, 5, 6, 7), keyPath(0, 5))
 	want := 3*d1 + 2*d2
 	if v := a.Value(); math.Abs(v-want) > 1e-9 {
 		t.Errorf("Value = %v, want %v", v, want)
@@ -96,17 +96,46 @@ func TestValueAccountsRaises(t *testing.T) {
 func TestSatisfiedThreshold(t *testing.T) {
 	a := New()
 	path := keyPath(0, 1)
-	a.Alpha[0] = 4
-	if !a.Satisfied(0, 1, path, 0.5, 8) {
+	a.AddAlphaOf(0, 4)
+	if !a.SatisfiedKeys(0, 1, path, 0.5, 8) {
 		t.Error("exactly ξ·p should satisfy")
 	}
-	if a.Satisfied(0, 1, path, 0.6, 8) {
+	if a.SatisfiedKeys(0, 1, path, 0.6, 8) {
 		t.Error("4 < 0.6·8 should not satisfy")
 	}
 	// Height coefficient scales the β contribution only.
-	a.Beta[path[0]] = 10
-	if !a.Satisfied(0, 0.3, path, 0.8, 8) { // 4 + 0.3·10 = 7 ≥ 6.4
+	a.AddBetaOf(path[0], 10)
+	if !a.SatisfiedKeys(0, 0.3, path, 0.8, 8) { // 4 + 0.3·10 = 7 ≥ 6.4
 		t.Error("height-weighted LHS should satisfy")
+	}
+}
+
+// TestDenseMatchesKeys pins the dense hot-path methods to the key-addressed
+// compatibility layer: the same logical operations through either surface
+// must read and write the exact same state.
+func TestDenseMatchesKeys(t *testing.T) {
+	ix := NewIndex()
+	a := NewWithIndex(ix)
+	path := keyPath(0, 1, 2, 3)
+	crit := keyPath(0, 2)
+	slot := ix.Demand(5)
+	pathIdx := ix.Path(path)
+	critIdx := ix.Path(crit)
+
+	d1 := a.RaiseUnit(slot, 8, pathIdx, critIdx)
+	b := New()
+	d2 := b.RaiseUnitKeys(5, 8, path, crit)
+	if d1 != d2 {
+		t.Fatalf("dense delta %v != keys delta %v", d1, d2)
+	}
+	if a.LHS(slot, 1, pathIdx) != b.LHSKeys(5, 1, path) {
+		t.Errorf("LHS diverged: %v vs %v", a.LHS(slot, 1, pathIdx), b.LHSKeys(5, 1, path))
+	}
+	if a.BetaSum(pathIdx) != b.BetaSumKeys(path) {
+		t.Errorf("BetaSum diverged")
+	}
+	if a.Value() != b.Value() {
+		t.Errorf("Value diverged: %v vs %v", a.Value(), b.Value())
 	}
 }
 
@@ -114,8 +143,8 @@ func TestLambdaAndBound(t *testing.T) {
 	a := New()
 	p1 := keyPath(0, 1)
 	p2 := keyPath(0, 2)
-	a.Alpha[0] = 5 // constraint 0: LHS 5, p 10 -> ratio 0.5
-	a.Alpha[1] = 9 // constraint 1: LHS 9, p 9  -> ratio 1
+	a.AddAlphaOf(0, 5) // constraint 0: LHS 5, p 10 -> ratio 0.5
+	a.AddAlphaOf(1, 9) // constraint 1: LHS 9, p 9  -> ratio 1
 	cons := []ConstraintView{
 		{Demand: 0, Coeff: 1, Profit: 10, Path: p1},
 		{Demand: 1, Coeff: 1, Profit: 9, Path: p2},
@@ -134,12 +163,46 @@ func TestLambdaAndBound(t *testing.T) {
 	}
 }
 
+// TestLambdaZeroProfitGuard is the regression test for the NaN/±Inf poison:
+// a constraint with p(d) ≤ 0 used to contribute LHS/0 (or LHS/negative) to
+// the minimum, turning Lambda and hence Bound into NaN or ±Inf. Profitless
+// constraints must be skipped.
+func TestLambdaZeroProfitGuard(t *testing.T) {
+	a := New()
+	p1 := keyPath(0, 1)
+	a.AddAlphaOf(0, 5)
+	cons := []ConstraintView{
+		{Demand: 0, Coeff: 1, Profit: 10, Path: p1}, // ratio 0.5
+		{Demand: 1, Coeff: 1, Profit: 0, Path: keyPath(0, 2)},
+		{Demand: 2, Coeff: 1, Profit: -3, Path: keyPath(0, 3)},
+	}
+	l := a.Lambda(cons)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatalf("Lambda = %v; zero-profit constraint poisoned it", l)
+	}
+	if math.Abs(l-0.5) > 1e-12 {
+		t.Fatalf("Lambda = %v, want 0.5 (profitless constraints skipped)", l)
+	}
+	b := a.Bound(cons)
+	if math.IsNaN(b) || b < 0 {
+		t.Fatalf("Bound = %v; want a finite nonnegative bound", b)
+	}
+	// All constraints profitless: no profit to certify against.
+	onlyZero := []ConstraintView{{Demand: 0, Coeff: 1, Profit: 0, Path: p1}}
+	if l := a.Lambda(onlyZero); l != 0 {
+		t.Errorf("Lambda over profitless set = %v, want 0", l)
+	}
+	if b := a.Bound(onlyZero); !math.IsInf(b, 1) {
+		t.Errorf("Bound over profitless set = %v, want +Inf", b)
+	}
+}
+
 func TestCloneIndependent(t *testing.T) {
 	a := New()
-	a.RaiseUnit(0, 5, keyPath(0, 1), keyPath(0, 1))
+	a.RaiseUnitKeys(0, 5, keyPath(0, 1), keyPath(0, 1))
 	c := a.Clone()
-	c.RaiseUnit(1, 7, keyPath(0, 2), keyPath(0, 2))
-	if _, ok := a.Alpha[1]; ok {
+	c.RaiseUnitKeys(1, 7, keyPath(0, 2), keyPath(0, 2))
+	if a.AlphaOf(1) != 0 {
 		t.Error("clone mutated the original")
 	}
 	if a.Value() == c.Value() {
@@ -152,8 +215,8 @@ func TestWeakDualityOnToyInstance(t *testing.T) {
 	// the framework order; the bound must dominate the true optimum (5).
 	a := New()
 	shared := keyPath(0, 9)
-	a.RaiseUnit(0, 3, shared, shared) // δ=1.5, α0=1.5, β=1.5
-	a.RaiseUnit(1, 5, shared, shared) // LHS=1.5, s=3.5, δ=1.75
+	a.RaiseUnitKeys(0, 3, shared, shared) // δ=1.5, α0=1.5, β=1.5
+	a.RaiseUnitKeys(1, 5, shared, shared) // LHS=1.5, s=3.5, δ=1.75
 	cons := []ConstraintView{
 		{Demand: 0, Coeff: 1, Profit: 3, Path: shared},
 		{Demand: 1, Coeff: 1, Profit: 5, Path: shared},
@@ -163,5 +226,38 @@ func TestWeakDualityOnToyInstance(t *testing.T) {
 	}
 	if b := a.Bound(cons); b < 5 {
 		t.Errorf("Bound %v below optimum 5", b)
+	}
+}
+
+// BenchmarkAssignmentClone measures the cost of snapshotting the dual state
+// — the operation a per-step trace of dual evolution would pay once per
+// step. With dense slices it is two slice copies; the sizes mirror the
+// m=768 engine workload (~1.5k demands, ~3k interned edges).
+func BenchmarkAssignmentClone(b *testing.B) {
+	for _, size := range []struct {
+		name           string
+		demands, edges int
+	}{
+		{"m=48", 70, 200},
+		{"m=768", 1510, 3072},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			ix := NewIndex()
+			a := NewWithIndex(ix)
+			for d := 0; d < size.demands; d++ {
+				a.AddAlphaOf(d, float64(d)+0.5)
+			}
+			for e := 0; e < size.edges; e++ {
+				a.AddBetaOf(model.MakeEdgeKey(0, e), float64(e)+0.25)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := a.Clone()
+				if c.AlphaOf(0) != a.AlphaOf(0) {
+					b.Fatal("clone diverged")
+				}
+			}
+		})
 	}
 }

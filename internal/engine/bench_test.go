@@ -52,6 +52,23 @@ func BenchmarkRunByMISKind(b *testing.B) {
 	}
 }
 
+// BenchmarkRunPrepared measures the steady state of the Solver's
+// cross-solve cache: repeated solves over one prepared item set, where the
+// conflict adjacency and the dense dual layout are built once outside the
+// loop. Compare against BenchmarkRunByMISKind/luby (same workload, cold
+// prepare every op) for the cache's per-solve saving.
+func BenchmarkRunPrepared(b *testing.B) {
+	items := benchItems(b, 256)
+	p := engine.Prepare(items)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkRunArbitrary(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	in, err := workload.RandomTreeInstance(workload.TreeConfig{

@@ -1,6 +1,9 @@
 package engine
 
-import "slices"
+import (
+	"maps"
+	"slices"
+)
 
 // ArbitraryResult is the outcome of the §6 arbitrary-height algorithm: the
 // wide and narrow sub-runs plus the per-resource combination.
@@ -65,7 +68,9 @@ func RunArbitraryParallel(items []Item, cfg Config, workers int) (*ArbitraryResu
 }
 
 // combinePerResource applies the §6 rule: on each resource keep whichever
-// sub-solution earns more profit there.
+// sub-solution earns more profit there. Resources are visited in ascending
+// id order so the profit sum accumulates deterministically — iterating the
+// resource set in map order made repeated solves differ in the last ulp.
 func combinePerResource(wideByRes, narrowByRes map[int][]int, profitW, profitN map[int]float64) ([]int, float64) {
 	resources := make(map[int]bool)
 	for r := range wideByRes {
@@ -76,7 +81,7 @@ func combinePerResource(wideByRes, narrowByRes map[int][]int, profitW, profitN m
 	}
 	var selected []int
 	profit := 0.0
-	for r := range resources {
+	for _, r := range slices.Sorted(maps.Keys(resources)) {
 		if profitW[r] >= profitN[r] {
 			selected = append(selected, wideByRes[r]...)
 			profit += profitW[r]

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"slices"
 
 	"treesched/internal/dual"
@@ -15,8 +16,8 @@ import (
 // each dist node owns a Core tracking its own α-variables plus local copies
 // of the β-variables on its items' paths — and exposes:
 //
-//   - Coeff: the LHS coefficient of an item's dual constraint (1 in the
-//     unit-height LP, h(d) in the arbitrary-height LP);
+//   - Intern: the one-time translation of an Item into a dense ItemView
+//     over the core's dual index;
 //   - Unsatisfied: the stage-threshold test driving step participation;
 //   - Raise: the mode-dispatched raise rule (§3.2 unit / §6.1 narrow),
 //     updating α and β locally;
@@ -24,53 +25,94 @@ import (
 //     processor, using BetaGain so remote copies stay bit-identical to the
 //     raiser's own update.
 //
-// Because both executions funnel every dual mutation through these four
-// entry points, they cannot drift: equality of the inputs (items, Config,
-// seed) implies bitwise equality of every dual variable, every satisfaction
-// test, and hence every selection.
+// Because both executions funnel every dual mutation through these entry
+// points, they cannot drift: equality of the inputs (items, Config, seed)
+// implies bitwise equality of every dual variable, every satisfaction test,
+// and hence every selection.
+//
+// The hot-path methods address the dual state through dense int32 indices
+// (see dual.Index): interning happens once per item at setup, and the
+// per-step satisfaction scans run as tight loops over int slices with no
+// map hashing.
 type Core struct {
 	Mode Mode
 	Dual *dual.Assignment
 }
 
-// NewCore returns a core with an empty dual assignment.
+// NewCore returns a core with an empty dual assignment over a fresh index.
 func NewCore(mode Mode) *Core {
 	return &Core{Mode: mode, Dual: dual.New()}
 }
 
-// Coeff returns the item's LHS coefficient: 1 under the unit rule, the
+// NewCoreWithIndex returns a core whose assignment is addressed through a
+// prepared (frozen) index — the engine's prepared-run path, where the index
+// and views are built once per item set and shared across solves.
+func NewCoreWithIndex(mode Mode, ix *dual.Index) *Core {
+	return &Core{Mode: mode, Dual: dual.NewWithIndex(ix)}
+}
+
+// ItemView is one item's dual constraint in dense form: the demand slot and
+// the β-index lists of its path and critical set, precomputed so the
+// per-step ξ-satisfaction tests and raises are pure slice arithmetic.
+type ItemView struct {
+	Slot     int32 // demand slot in the core's dual index
+	Profit   float64
+	Height   float64
+	Edges    []int32 // β indices of the full path
+	Critical []int32 // β indices of π(d) ⊆ Edges
+}
+
+// Intern translates an item into its dense view, interning the demand and
+// path edges into the core's dual index. Call once per item at setup; the
+// index must not be mutated while a run is in flight.
+func (c *Core) Intern(it *Item) ItemView {
+	return internItem(c.Dual.Index(), it)
+}
+
+// internItem is the one translation from Item to dense ItemView; the
+// engine's layouts and the dist nodes' views are both built through it, so
+// a change to the view shape or the interning rule cannot make the two
+// executions diverge.
+func internItem(ix *dual.Index, it *Item) ItemView {
+	return ItemView{
+		Slot:     ix.Demand(it.Demand),
+		Profit:   it.Profit,
+		Height:   it.Height,
+		Edges:    ix.Path(it.Edges),
+		Critical: ix.Path(it.Critical),
+	}
+}
+
+// Coeff returns the view's LHS coefficient: 1 under the unit rule, the
 // item's height under the narrow rule.
-func (c *Core) Coeff(it *Item) float64 {
+func (c *Core) Coeff(v *ItemView) float64 {
 	if c.Mode == Narrow {
-		return it.Height
+		return v.Height
 	}
 	return 1
 }
 
-// Unsatisfied reports whether the item's dual constraint is not yet
+// Unsatisfied reports whether the view's dual constraint is not yet
 // thresh-satisfied: α(a_d) + coeff·Σ_{e∈path} β(e) < thresh·p(d).
-func (c *Core) Unsatisfied(it *Item, thresh float64) bool {
-	return !c.Dual.Satisfied(it.Demand, c.Coeff(it), it.Edges, thresh, it.Profit)
+func (c *Core) Unsatisfied(v *ItemView, thresh float64) bool {
+	return !c.Dual.Satisfied(v.Slot, c.Coeff(v), v.Edges, thresh, v.Profit)
 }
 
-// Raise performs the mode's raise rule on the item and returns δ. The
+// Raise performs the mode's raise rule on the view and returns δ. The
 // owner's α and the β of the item's critical edges are updated in place;
 // the constraint becomes tight.
-func (c *Core) Raise(it *Item) float64 {
+func (c *Core) Raise(v *ItemView) float64 {
 	if c.Mode == Narrow {
-		return c.Dual.RaiseNarrow(it.Demand, it.Profit, it.Height, it.Edges, it.Critical)
+		return c.Dual.RaiseNarrow(v.Slot, v.Profit, v.Height, v.Edges, v.Critical)
 	}
-	return c.Dual.RaiseUnit(it.Demand, it.Profit, it.Edges, it.Critical)
+	return c.Dual.RaiseUnit(v.Slot, v.Profit, v.Edges, v.Critical)
 }
 
 // ApplyRaise replays a raise of δ announced by another processor whose
-// item has the given critical set: β(e) += BetaGain for each critical edge.
-// The raiser's α is private to its owner and is not tracked.
-func (c *Core) ApplyRaise(critical []model.EdgeKey, delta float64) {
-	g := BetaGain(c.Mode, len(critical), delta)
-	for _, e := range critical {
-		c.Dual.Beta[e] += g
-	}
+// item has the given (interned) critical set: β(e) += BetaGain for each
+// critical edge. The raiser's α is private to its owner and is not tracked.
+func (c *Core) ApplyRaise(critical []int32, delta float64) {
+	c.Dual.AddBeta(critical, BetaGain(c.Mode, len(critical), delta))
 }
 
 // BetaGain returns the per-critical-edge β increment of a raise of δ: δ
@@ -84,19 +126,23 @@ func BetaGain(mode Mode, criticalLen int, delta float64) float64 {
 	return delta
 }
 
-// ConstraintViews builds the dual-constraint views of the items under the
-// core's mode, for Lambda/Bound computation.
-func (c *Core) ConstraintViews(items []Item) []dual.ConstraintView {
-	cons := make([]dual.ConstraintView, len(items))
-	for i := range items {
-		cons[i] = dual.ConstraintView{
-			Demand: items[i].Demand,
-			Coeff:  c.Coeff(&items[i]),
-			Profit: items[i].Profit,
-			Path:   items[i].Edges,
+// lambdaBound scores the assignment against every item's dual constraint in
+// item order: λ = min(1, min LHS/p) and the weak-duality bound Value/λ
+// (Lemma 3.1). Dense counterpart of dual.Lambda/Bound over ConstraintViews;
+// items are validated to have positive profit, so no zero-profit guard is
+// needed here beyond the λ ≤ 0 check.
+func (c *Core) lambdaBound(views []ItemView) (lambda, bound float64) {
+	lambda = 1.0
+	for i := range views {
+		v := &views[i]
+		if r := c.Dual.LHS(v.Slot, c.Coeff(v), v.Edges) / v.Profit; r < lambda {
+			lambda = r
 		}
 	}
-	return cons
+	if lambda <= 0 {
+		return lambda, math.Inf(1)
+	}
+	return lambda, c.Dual.Value() / lambda
 }
 
 // SelectGreedy is the shared second phase: pop the phase-1 raise history
@@ -105,8 +151,10 @@ func (c *Core) ConstraintViews(items []Item) []dual.ConstraintView {
 // path edge retains capacity (edge-disjointness under the unit rule, height
 // sums ≤ 1 under the narrow rule). steps lists the raised item ids of each
 // phase-1 step in execution order. Both the engine and the dist runtime
-// reconstruct their selections through this one function, so identical raise
-// histories yield identical selections and profit.
+// reconstruct their selections through this one rule — the engine via the
+// dense selectGreedyViews below, the dist coordinator via this key-addressed
+// form — so identical raise histories yield identical selections and profit
+// (the per-edge capacity sums accumulate in the same order either way).
 func SelectGreedy(items []Item, mode Mode, steps [][]int) (selected []int, profit float64) {
 	usedDemand := make(map[int]bool)
 	usage := make(map[model.EdgeKey]float64)
@@ -136,6 +184,45 @@ func SelectGreedy(items []Item, mode Mode, steps [][]int) (selected []int, profi
 			}
 			selected = append(selected, id)
 			profit += it.Profit
+		}
+	}
+	slices.Sort(selected)
+	return selected, profit
+}
+
+// selectGreedyViews is SelectGreedy over dense views: demand usage and edge
+// capacity live in flat slices indexed by dual slots. Bit-identical to the
+// key-addressed form (same pop order, same capacity sums in the same
+// accumulation order, same tie handling).
+func selectGreedyViews(views []ItemView, mode Mode, steps [][]int, numSlots, numEdges int) (selected []int, profit float64) {
+	usedDemand := make([]bool, numSlots)
+	usage := make([]float64, numEdges)
+	for s := len(steps) - 1; s >= 0; s-- {
+		for _, id := range steps[s] {
+			v := &views[id]
+			if usedDemand[v.Slot] {
+				continue
+			}
+			need := v.Height
+			if mode == Unit {
+				need = 1
+			}
+			ok := true
+			for _, e := range v.Edges {
+				if usage[e]+need > 1+dual.Tolerance {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			usedDemand[v.Slot] = true
+			for _, e := range v.Edges {
+				usage[e] += need
+			}
+			selected = append(selected, id)
+			profit += v.Profit
 		}
 	}
 	slices.Sort(selected)

@@ -15,7 +15,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"slices"
 	"sync"
@@ -127,18 +126,21 @@ type Result struct {
 
 // state is the mutable run state shared by the phases. The dual raises,
 // coefficient handling and threshold checks live in the shared Core so the
-// in-process run and the dist protocol cannot drift.
+// in-process run and the dist protocol cannot drift; all dual addressing
+// goes through the layout's precomputed dense views.
 type state struct {
 	items []Item
+	lay   *layout
 	cfg   Config
 	plan  *Plan
 	adj   [][]int // conflict adjacency over items
 	core  *Core
-	owner []int
-	rngs  map[int]*rand.Rand
-	stack []step
-	trace *Trace
-	steps int
+	// streams holds one splitmix64 priority stream per owner slot, seeded
+	// exactly as the dist nodes seed theirs (NewStream).
+	streams []Stream
+	stack   []step
+	trace   *Trace
+	steps   int
 	// index is the scratch used by subgraph to relabel item ids to dense
 	// positions within the current unsatisfied set; -1 = absent. It replaces
 	// a per-step map rebuild on the hot path.
@@ -146,6 +148,10 @@ type state struct {
 	// sub is the reusable subgraph adjacency backing; sub[i] slices are
 	// truncated and refilled each step.
 	sub [][]int
+	// uBuf and slotBuf are per-step scratch for the unsatisfied set and its
+	// owner slots.
+	uBuf    []int
+	slotBuf []int
 }
 
 // step is one pushed independent set with its schedule stamp.
@@ -205,26 +211,24 @@ func PlanFor(items []Item, cfg *Config) (*Plan, error) {
 
 // Run executes both phases and returns the result.
 func Run(items []Item, cfg Config) (*Result, error) {
-	plan, err := PlanFor(items, &cfg)
-	if err != nil {
-		return nil, err
-	}
-	return runSerial(items, cfg, plan, buildConflicts(items, 1))
+	return Prepare(items).Run(cfg)
 }
 
-// newState assembles run state over a prepared plan and conflict adjacency.
-func newState(items []Item, cfg Config, plan *Plan, adj [][]int) *state {
+// newState assembles run state over a prepared plan, conflict adjacency and
+// dense layout. The layout is read-only: concurrent states (the Solver's
+// cached Prepared, shard workers) may share one.
+func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int) *state {
 	st := &state{
 		items: items,
+		lay:   lay,
 		cfg:   cfg,
 		plan:  plan,
 		adj:   adj,
-		core:  NewCore(cfg.Mode),
-		rngs:  make(map[int]*rand.Rand),
+		core:  lay.newCore(cfg.Mode),
 	}
-	st.owner = make([]int, len(items))
-	for i := range items {
-		st.owner[i] = items[i].Owner
+	st.streams = make([]Stream, len(lay.ownerID))
+	for s, owner := range lay.ownerID {
+		st.streams[s] = NewStream(cfg.Seed, owner)
 	}
 	if cfg.RecordTrace {
 		st.trace = &Trace{}
@@ -234,18 +238,17 @@ func newState(items []Item, cfg Config, plan *Plan, adj [][]int) *state {
 
 // runSerial executes both phases over one conflict graph. The sharded
 // pipeline (RunParallel) runs firstPhase per component instead and merges.
-func runSerial(items []Item, cfg Config, plan *Plan, adj [][]int) (*Result, error) {
-	st := newState(items, cfg, plan, adj)
+func (p *Prepared) runSerial(cfg Config, plan *Plan) (*Result, error) {
+	st := newState(p.items, p.lay, cfg, plan, p.adj)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
-	res.Delta = MaxCritical(items)
+	res.Delta = MaxCritical(p.items)
 	if err := st.firstPhase(res); err != nil {
 		return nil, err
 	}
 	st.secondPhase(res)
 
-	if cons := st.core.ConstraintViews(items); len(cons) > 0 {
-		res.Lambda = st.core.Dual.Lambda(cons)
-		res.Bound = st.core.Dual.Bound(cons)
+	if len(p.items) > 0 {
+		res.Lambda, res.Bound = st.core.lambdaBound(p.lay.views)
 	}
 	res.CommRounds = 2*res.MISIters + 2*res.Steps
 	return res, nil
@@ -514,12 +517,14 @@ func (st *state) firstPhase(res *Result) error {
 }
 
 func (st *state) unsatisfied(members []int, thresh float64) []int {
-	var u []int
+	u := st.uBuf[:0]
+	views := st.lay.views
 	for _, id := range members {
-		if st.core.Unsatisfied(&st.items[id], thresh) {
+		if st.core.Unsatisfied(&views[id], thresh) {
 			u = append(u, id)
 		}
 	}
+	st.uBuf = u
 	return u
 }
 
@@ -530,11 +535,16 @@ func (st *state) independentSet(u []int) ([]int, int) {
 	if st.cfg.MIS == GreedyMIS {
 		return pick(u, mis.Greedy(len(u), sub)), 1
 	}
-	owners := make([]int, len(u))
-	for i, id := range u {
-		owners[i] = st.owner[id]
+	// Luby receives owner *slots*; st.draw resolves a slot to its stream.
+	// The engine controls both sides of the Drawer contract, so passing
+	// slots instead of external owner ids is invisible to mis — and the
+	// streams themselves are seeded from the external ids, matching dist.
+	slots := st.slotBuf[:0]
+	for _, id := range u {
+		slots = append(slots, int(st.lay.ownerSlot[id]))
 	}
-	in, iters := mis.Luby(owners, sub, st.draw)
+	st.slotBuf = slots
+	in, iters := mis.Luby(slots, sub, st.draw)
 	return pick(u, in), iters
 }
 
@@ -580,43 +590,28 @@ func pick(u []int, in []bool) []int {
 	return out
 }
 
-// draw returns the next priority from owner's PRNG stream, creating the
-// stream deterministically from the run seed on first use. The distributed
-// protocol seeds processor PRNGs identically, so draws coincide.
-func (st *state) draw(owner int) float64 {
-	r, ok := st.rngs[owner]
-	if !ok {
-		r = rand.New(rand.NewSource(OwnerSeed(st.cfg.Seed, owner)))
-		st.rngs[owner] = r
-	}
-	return r.Float64()
-}
-
-// OwnerSeed derives the PRNG seed of a processor from the run seed. Shared
-// with package dist so both executions draw identical priorities.
-func OwnerSeed(seed int64, owner int) int64 {
-	// SplitMix64-style mix; cheap, deterministic, and well-dispersed.
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(owner+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z & math.MaxInt64)
+// draw returns the next priority from the stream at an owner slot. The
+// distributed protocol seeds processor streams identically (NewStream over
+// the external owner id), so draws coincide.
+func (st *state) draw(slot int) float64 {
+	return st.streams[slot].Float64()
 }
 
 func (st *state) raise(id int) {
-	delta := st.core.Raise(&st.items[id])
+	delta := st.core.Raise(&st.lay.views[id])
 	if st.trace != nil {
 		st.trace.Events = append(st.trace.Events, RaiseEvent{Step: st.steps, Item: id, Delta: delta})
 	}
 }
 
-// secondPhase pops the stack through the shared SelectGreedy rule.
+// secondPhase pops the stack through the shared greedy rule (dense form).
 func (st *state) secondPhase(res *Result) {
 	steps := make([][]int, len(st.stack))
 	for i := range st.stack {
 		steps[i] = st.stack[i].items
 	}
-	res.Selected, res.Profit = SelectGreedy(st.items, st.cfg.Mode, steps)
+	res.Selected, res.Profit = selectGreedyViews(st.lay.views, st.cfg.Mode, steps,
+		st.lay.ix.NumDemands(), st.lay.ix.NumEdges())
 }
 
 func profitRange(items []Item) (pmin, pmax float64) {

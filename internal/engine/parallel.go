@@ -10,7 +10,7 @@ import (
 // messages: items in different components share no demand and no edge, so
 // their dual variables are disjoint, their raise rules never read each
 // other's state, and — because priorities come from per-owner PRNG streams
-// (OwnerSeed) and every item of a demand lives in one component — their
+// (NewStream) and every item of a demand lives in one component — their
 // Luby draws are shard-independent. RunParallel therefore runs the full
 // epoch/stage/step schedule per component on a worker pool and reassembles
 // the global serial execution exactly:
@@ -22,8 +22,9 @@ import (
 //   - a serial Luby election runs until every active component is decided,
 //     with decided vertices drawing nothing, so the serial iteration count
 //     at a position is the max over the shards active there;
-//   - the merged stack feeds the same SelectGreedy second phase, and the
-//     merged dual assignment (disjoint α and β) yields the same λ and bound.
+//   - the merged stack feeds the same greedy second phase, and the merged
+//     dual assignment (disjoint α and β, copied into the global dense
+//     layout by external key) yields the same λ and bound.
 //
 // The result is bit-identical to Run for every worker count.
 
@@ -62,13 +63,11 @@ func ConflictComponents(adj [][]int) [][]int {
 	return out
 }
 
-// shard is one conflict component prepared for an independent first phase.
-type shard struct {
-	comp  []int   // global item ids, ascending
-	items []Item  // dense re-indexed copies (ID = position in comp)
-	adj   [][]int // conflict adjacency relabeled to shard-local ids
-	st    *state
-	res   *Result
+// shardRun is one conflict component's first-phase execution.
+type shardRun struct {
+	pre *preShard
+	st  *state
+	res *Result
 }
 
 // RunParallel executes the same algorithm as Run, sharded over the
@@ -76,66 +75,47 @@ type shard struct {
 // Result is bit-identical to Run(items, cfg) at every worker count; with
 // workers ≤ 1 the serial engine runs directly.
 func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
-	plan, err := PlanFor(items, &cfg) // resolves ξ and defaults globally
+	return PrepareWorkers(items, workers).RunParallel(cfg, workers)
+}
+
+// RunParallel executes the sharded pipeline over the prepared state.
+func (p *Prepared) RunParallel(cfg Config, workers int) (*Result, error) {
+	plan, err := PlanFor(p.items, &cfg) // resolves ξ and defaults globally
 	if err != nil {
 		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		return p.runSerial(cfg, plan)
 	}
-	adj := buildConflicts(items, workers)
-	if workers == 1 {
-		return runSerial(items, cfg, plan, adj)
-	}
-	comps := ConflictComponents(adj)
-	if len(comps) <= 1 {
+	p.ensureShards()
+	if len(p.comps) <= 1 {
 		// One giant component: sharding cannot help, but the parallel
-		// conflict build above already did its part.
-		return runSerial(items, cfg, plan, adj)
-	}
-
-	// Relabel items and adjacency per shard. Components partition the id
-	// space, so one shared translation array serves all shards.
-	local := make([]int, len(items))
-	shards := make([]*shard, len(comps))
-	for s, comp := range comps {
-		for i, id := range comp {
-			local[id] = i
-		}
-		sh := &shard{comp: comp}
-		sh.items = make([]Item, len(comp))
-		sh.adj = make([][]int, len(comp))
-		for i, id := range comp {
-			sh.items[i] = items[id]
-			sh.items[i].ID = i
-			row := make([]int, len(adj[id]))
-			for j, w := range adj[id] {
-				row[j] = local[w]
-			}
-			sh.adj[i] = row
-		}
-		shards[s] = sh
+		// conflict build in PrepareWorkers already did its part.
+		return p.runSerial(cfg, plan)
 	}
 
 	// First phase per shard on the pool. Every shard runs under the global
 	// plan: identical ξ-ladder and step cap, epochs without members skip.
-	errs := make([]error, len(shards))
+	runs := make([]*shardRun, len(p.shards))
+	errs := make([]error, len(p.shards))
 	work := make(chan int)
 	var wg sync.WaitGroup
-	pool := min(workers, len(shards))
+	pool := min(workers, len(p.shards))
 	for w := 0; w < pool; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				sh := shards[s]
-				sh.st = newState(sh.items, cfg, plan, sh.adj)
-				sh.res = &Result{Dual: sh.st.core.Dual, Trace: sh.st.trace}
-				errs[s] = sh.st.firstPhase(sh.res)
+				pre := p.shards[s]
+				run := &shardRun{pre: pre}
+				run.st = newState(pre.items, pre.lay, cfg, plan, pre.adj)
+				run.res = &Result{Dual: run.st.core.Dual, Trace: run.st.trace}
+				errs[s] = run.st.firstPhase(run.res)
+				runs[s] = run
 			}
 		}()
 	}
-	for s := range shards {
+	for s := range p.shards {
 		work <- s
 	}
 	close(work)
@@ -145,7 +125,7 @@ func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
 			return nil, err
 		}
 	}
-	return mergeShards(items, cfg, plan, shards)
+	return p.mergeShards(cfg, plan, runs)
 }
 
 // stamped is one shard step tagged with its schedule position.
@@ -157,26 +137,26 @@ type stamped struct {
 }
 
 // mergeShards reassembles the serial execution from per-shard first phases.
-func mergeShards(items []Item, cfg Config, plan *Plan, shards []*shard) (*Result, error) {
+func (p *Prepared) mergeShards(cfg Config, plan *Plan, runs []*shardRun) (*Result, error) {
 	res := &Result{
-		Delta:  MaxCritical(items),
+		Delta:  MaxCritical(p.items),
 		Epochs: plan.MaxGroup,
 		Stages: plan.Stages,
 	}
 
 	// Collect every shard step with its schedule stamp and global item ids.
 	var all []stamped
-	for s, sh := range shards {
-		res.Raised += sh.res.Raised
-		if sh.res.MaxStageSteps > res.MaxStageSteps {
-			res.MaxStageSteps = sh.res.MaxStageSteps
+	for s, run := range runs {
+		res.Raised += run.res.Raised
+		if run.res.MaxStageSteps > res.MaxStageSteps {
+			res.MaxStageSteps = run.res.MaxStageSteps
 		}
-		for p, st := range sh.st.stack {
+		for pos, st := range run.st.stack {
 			ids := make([]int, len(st.items))
 			for i, id := range st.items {
-				ids[i] = sh.comp[id]
+				ids[i] = run.pre.comp[id]
 			}
-			all = append(all, stamped{st.epoch, st.stage, st.iter, s, p, ids})
+			all = append(all, stamped{st.epoch, st.stage, st.iter, s, pos, ids})
 		}
 	}
 	slices.SortFunc(all, func(a, b stamped) int {
@@ -206,7 +186,7 @@ func mergeShards(items []Item, cfg Config, plan *Plan, shards []*shard) (*Result
 		iters := 0
 		for ; j < len(all) && all[j].epoch == all[i].epoch && all[j].stage == all[i].stage && all[j].iter == all[i].iter; j++ {
 			ids = append(ids, all[j].items...)
-			if it := shards[all[j].shard].st.stack[all[j].pos].misIters; it > iters {
+			if it := runs[all[j].shard].st.stack[all[j].pos].misIters; it > iters {
 				iters = it
 			}
 		}
@@ -223,26 +203,34 @@ func mergeShards(items []Item, cfg Config, plan *Plan, shards []*shard) (*Result
 	res.CommRounds = 2*res.MISIters + 2*res.Steps
 
 	// Second phase over the merged stack, exactly as the serial run.
-	res.Selected, res.Profit = SelectGreedy(items, cfg.Mode, steps)
+	res.Selected, res.Profit = selectGreedyViews(p.lay.views, cfg.Mode, steps,
+		p.lay.ix.NumDemands(), p.lay.ix.NumEdges())
 
-	// Merge the disjoint dual assignments and score them globally.
-	core := NewCore(cfg.Mode)
-	for _, sh := range shards {
-		for k, v := range sh.st.core.Dual.Alpha {
-			core.Dual.Alpha[k] = v
+	// Merge the disjoint dual assignments into the global dense layout by
+	// external key (components partition demands and edges, so every global
+	// slot is written by at most one shard) and score them globally.
+	core := p.lay.newCore(cfg.Mode)
+	for _, run := range runs {
+		d := run.st.core.Dual
+		ix := d.Index()
+		for s := 0; s < ix.NumDemands(); s++ {
+			if v := d.Alpha(int32(s)); v != 0 {
+				core.Dual.AddAlphaOf(ix.DemandID(int32(s)), v)
+			}
 		}
-		for k, v := range sh.st.core.Dual.Beta {
-			core.Dual.Beta[k] = v
+		for i := 0; i < ix.NumEdges(); i++ {
+			if v := d.Beta(int32(i)); v != 0 {
+				core.Dual.AddBetaOf(ix.EdgeKey(int32(i)), v)
+			}
 		}
 	}
 	res.Dual = core.Dual
-	if cons := core.ConstraintViews(items); len(cons) > 0 {
-		res.Lambda = core.Dual.Lambda(cons)
-		res.Bound = core.Dual.Bound(cons)
+	if len(p.items) > 0 {
+		res.Lambda, res.Bound = core.lambdaBound(p.lay.views)
 	}
 
 	if cfg.RecordTrace {
-		res.Trace = mergeTraces(shards, perStep)
+		res.Trace = mergeTraces(runs, perStep)
 	}
 	return res, nil
 }
@@ -250,16 +238,16 @@ func mergeShards(items []Item, cfg Config, plan *Plan, shards []*shard) (*Result
 // mergeTraces rebuilds the serial raise trace: shard events carry
 // shard-local step indices; the merged trace renumbers them to global step
 // indices and interleaves same-step raises in ascending item order.
-func mergeTraces(shards []*shard, perStep [][]stamped) *Trace {
+func mergeTraces(runs []*shardRun, perStep [][]stamped) *Trace {
 	// Group each shard's events by local step index (events are appended in
 	// step order, so the grouping is a single scan).
-	events := make([]map[int][]RaiseEvent, len(shards))
-	for s, sh := range shards {
+	events := make([]map[int][]RaiseEvent, len(runs))
+	for s, run := range runs {
 		events[s] = make(map[int][]RaiseEvent)
-		if sh.st.trace == nil {
+		if run.st.trace == nil {
 			continue
 		}
-		for _, ev := range sh.st.trace.Events {
+		for _, ev := range run.st.trace.Events {
 			events[s][ev.Step] = append(events[s][ev.Step], ev)
 		}
 	}
@@ -270,7 +258,7 @@ func mergeTraces(shards []*shard, perStep [][]stamped) *Trace {
 			for _, ev := range events[rec.shard][rec.pos+1] {
 				evs = append(evs, RaiseEvent{
 					Step:  g + 1,
-					Item:  shards[rec.shard].comp[ev.Item],
+					Item:  runs[rec.shard].pre.comp[ev.Item],
 					Delta: ev.Delta,
 				})
 			}

@@ -65,7 +65,7 @@ func TestRunParallelBitIdentical(t *testing.T) {
 					if par.Lambda != serial.Lambda {
 						t.Errorf("%s: lambda %v != serial %v (p=%d)", tag("lambda"), par.Lambda, serial.Lambda, workers)
 					}
-					if !reflect.DeepEqual(par.Dual.Alpha, serial.Dual.Alpha) || !reflect.DeepEqual(par.Dual.Beta, serial.Dual.Beta) {
+					if !reflect.DeepEqual(par.Dual.AlphaMap(), serial.Dual.AlphaMap()) || !reflect.DeepEqual(par.Dual.BetaMap(), serial.Dual.BetaMap()) {
 						t.Errorf("%s: dual assignment diverged (p=%d)", tag("dual"), workers)
 					}
 					if par.Steps != serial.Steps || par.MISIters != serial.MISIters ||

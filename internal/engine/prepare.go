@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"sync"
+
+	"treesched/internal/dual"
+)
+
+// This file implements run preparation: everything about an item set that
+// is independent of the Config and can therefore be built once and reused
+// across solves — the dense dual layout (interned demand slots and edge
+// indices plus per-item views), the conflict adjacency of §2, and, for the
+// sharded pipeline, the per-component relabelings. The root Solver caches
+// Prepared values keyed by instance content, so the steady state of a
+// scheduling service re-solving a fixed network set skips conflict
+// construction and interning entirely and goes straight into the schedule.
+
+// layout is the dense dual addressing of one item set: a frozen dual.Index
+// plus per-item views and per-owner stream bookkeeping. Built once; strictly
+// read-only during runs, so any number of concurrent runs may share it.
+type layout struct {
+	ix        *dual.Index
+	views     []ItemView // dense view per item, aligned with items
+	ownerID   []int      // owner slot -> external owner id (stream seeding)
+	ownerSlot []int32    // item -> owner slot
+}
+
+// buildLayout interns every item of the set into a fresh index.
+func buildLayout(items []Item) *layout {
+	lay := &layout{ix: dual.NewIndex()}
+	lay.views = make([]ItemView, len(items))
+	ownerSlots := make(map[int]int32)
+	lay.ownerSlot = make([]int32, len(items))
+	for i := range items {
+		it := &items[i]
+		lay.views[i] = internItem(lay.ix, it)
+		s, ok := ownerSlots[it.Owner]
+		if !ok {
+			s = int32(len(lay.ownerID))
+			ownerSlots[it.Owner] = s
+			lay.ownerID = append(lay.ownerID, it.Owner)
+		}
+		lay.ownerSlot[i] = s
+	}
+	return lay
+}
+
+// newCore returns a fresh per-run core over the layout's frozen index.
+func (lay *layout) newCore(mode Mode) *Core {
+	return NewCoreWithIndex(mode, lay.ix)
+}
+
+// Prepared is an item set with its Config-independent run state: dense
+// layout, conflict adjacency, and (lazily) the connected components and
+// per-shard relabelings of the sharded pipeline. A Prepared is immutable
+// after construction apart from the lazily-built shard structures (guarded
+// by a sync.Once), so it is safe for concurrent Run/RunParallel calls —
+// the property the root Solver's cross-solve cache relies on.
+type Prepared struct {
+	items []Item
+	lay   *layout
+	adj   [][]int
+
+	shardOnce sync.Once
+	comps     [][]int
+	shards    []*preShard
+}
+
+// preShard is one conflict component relabeled to dense shard-local ids.
+type preShard struct {
+	comp  []int   // global item ids, ascending
+	items []Item  // re-indexed copies (ID = position in comp)
+	adj   [][]int // adjacency relabeled to shard-local ids
+	lay   *layout // shard-local dense layout
+}
+
+// Prepare builds the Config-independent run state of an item set with a
+// serial conflict build.
+func Prepare(items []Item) *Prepared { return PrepareWorkers(items, 1) }
+
+// PrepareWorkers is Prepare with the conflict adjacency built on a worker
+// pool of the given size (identical adjacency at any worker count).
+func PrepareWorkers(items []Item, workers int) *Prepared {
+	return &Prepared{
+		items: items,
+		lay:   buildLayout(items),
+		adj:   buildConflicts(items, workers),
+	}
+}
+
+// Items returns the prepared item set. Callers must not mutate it.
+func (p *Prepared) Items() []Item { return p.items }
+
+// Conflicts returns the prepared conflict adjacency. Callers must not
+// mutate it.
+func (p *Prepared) Conflicts() [][]int { return p.adj }
+
+// Run executes the serial engine over the prepared state.
+func (p *Prepared) Run(cfg Config) (*Result, error) {
+	plan, err := PlanFor(p.items, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.runSerial(cfg, plan)
+}
+
+// ensureShards builds the component decomposition and per-shard relabelings
+// once. Components partition the id space, so one shared translation array
+// serves all shards.
+func (p *Prepared) ensureShards() {
+	p.shardOnce.Do(func() {
+		p.comps = ConflictComponents(p.adj)
+		if len(p.comps) <= 1 {
+			return
+		}
+		local := make([]int, len(p.items))
+		p.shards = make([]*preShard, len(p.comps))
+		for s, comp := range p.comps {
+			for i, id := range comp {
+				local[id] = i
+			}
+			sh := &preShard{comp: comp}
+			sh.items = make([]Item, len(comp))
+			sh.adj = make([][]int, len(comp))
+			for i, id := range comp {
+				sh.items[i] = p.items[id]
+				sh.items[i].ID = i
+				row := make([]int, len(p.adj[id]))
+				for j, w := range p.adj[id] {
+					row[j] = local[w]
+				}
+				sh.adj[i] = row
+			}
+			sh.lay = buildLayout(sh.items)
+			p.shards[s] = sh
+		}
+	})
+}

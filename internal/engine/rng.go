@@ -1,0 +1,53 @@
+package engine
+
+import "math"
+
+// This file is the coordinated per-owner PRNG of the framework. Luby
+// elections draw priorities from per-processor streams; the in-process
+// engine, the sharded parallel pipeline, and the message-passing nodes of
+// package dist all construct their streams through NewStream, so identical
+// (seed, owner) pairs yield identical draw sequences and the three
+// executions stay bit-identical.
+//
+// The streams used to be math/rand rngSources, whose 607-word seeding table
+// made per-owner construction ~30% of fragmented-run time. A splitmix64
+// generator needs one uint64 of state, seeds in a handful of multiplies,
+// and passes the statistical bar Luby needs (independent, well-dispersed
+// priorities; ties are already broken deterministically by item id).
+// Switching generators changes which random numbers are drawn — the golden
+// expectations tied to the old streams were re-snapshotted once, in the PR
+// that introduced this file — but never the cross-execution equivalence.
+
+// Stream is a splitmix64 PRNG stream for one owner. The zero value is a
+// valid (seed 0, owner-less) stream; construct with NewStream to match the
+// protocol's per-owner seeding.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns owner's stream for a run seed. Shared by the engine and
+// package dist so both executions draw identical priorities.
+func NewStream(seed int64, owner int) Stream {
+	return Stream{state: uint64(OwnerSeed(seed, owner))}
+}
+
+// Float64 returns the next draw in [0, 1).
+func (s *Stream) Float64() float64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) * 0x1p-53
+}
+
+// OwnerSeed derives the PRNG seed of a processor from the run seed. Shared
+// with package dist so both executions draw identical priorities.
+func OwnerSeed(seed int64, owner int) int64 {
+	// SplitMix64-style mix; cheap, deterministic, and well-dispersed.
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(owner+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}

@@ -1,0 +1,56 @@
+package model
+
+// EdgeInterner maps EdgeKeys to contiguous int32 indices, assigned in first-
+// seen order. The hot path of the two-phase framework tests ξ-satisfaction by
+// summing β over an item's path; with interned indices that sum is a tight
+// loop over an int32 slice into a dense []float64 instead of a map hash per
+// edge. An interner is built once per item set (per run, per shard, or per
+// dist node) and is read-only afterwards; it is not safe for concurrent
+// mutation, but concurrent lookups of a frozen interner are.
+type EdgeInterner struct {
+	idx  map[EdgeKey]int32
+	keys []EdgeKey
+}
+
+// NewEdgeInterner returns an empty interner.
+func NewEdgeInterner() *EdgeInterner {
+	return &EdgeInterner{idx: make(map[EdgeKey]int32)}
+}
+
+// Intern returns the dense index of k, assigning the next free index when k
+// is new.
+func (in *EdgeInterner) Intern(k EdgeKey) int32 {
+	if i, ok := in.idx[k]; ok {
+		return i
+	}
+	i := int32(len(in.keys))
+	in.idx[k] = i
+	in.keys = append(in.keys, k)
+	return i
+}
+
+// InternPath interns every key of path and returns the index list, aligned
+// with path.
+func (in *EdgeInterner) InternPath(path []EdgeKey) []int32 {
+	out := make([]int32, len(path))
+	for j, k := range path {
+		out[j] = in.Intern(k)
+	}
+	return out
+}
+
+// Lookup returns the index of k without interning.
+func (in *EdgeInterner) Lookup(k EdgeKey) (int32, bool) {
+	i, ok := in.idx[k]
+	return i, ok
+}
+
+// Len returns the number of interned keys.
+func (in *EdgeInterner) Len() int { return len(in.keys) }
+
+// Key returns the EdgeKey at index i.
+func (in *EdgeInterner) Key(i int32) EdgeKey { return in.keys[i] }
+
+// Keys returns the interned keys in index order. The slice is the interner's
+// backing array; callers must not mutate it.
+func (in *EdgeInterner) Keys() []EdgeKey { return in.keys }

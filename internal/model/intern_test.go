@@ -1,0 +1,53 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestEdgeInternerAssignsDenseIndices(t *testing.T) {
+	in := NewEdgeInterner()
+	a := MakeEdgeKey(2, 7)
+	b := MakeEdgeKey(0, 7)
+	c := MakeEdgeKey(2, 9)
+	if i := in.Intern(a); i != 0 {
+		t.Fatalf("first key got index %d, want 0", i)
+	}
+	if i := in.Intern(b); i != 1 {
+		t.Fatalf("second key got index %d, want 1", i)
+	}
+	if i := in.Intern(a); i != 0 {
+		t.Fatalf("re-interning returned %d, want stable 0", i)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if got, ok := in.Lookup(c); ok {
+		t.Fatalf("Lookup of un-interned key returned (%d, true)", got)
+	}
+	if k := in.Key(1); k != b {
+		t.Errorf("Key(1) = %v, want %v", k, b)
+	}
+	if keys := in.Keys(); len(keys) != 2 || keys[0] != a || keys[1] != b {
+		t.Errorf("Keys() = %v, want [%v %v]", keys, a, b)
+	}
+}
+
+func TestEdgeInternerInternPath(t *testing.T) {
+	in := NewEdgeInterner()
+	path := []EdgeKey{MakeEdgeKey(1, 3), MakeEdgeKey(1, 4), MakeEdgeKey(1, 3)}
+	idx := in.InternPath(path)
+	if len(idx) != 3 {
+		t.Fatalf("index list length %d, want 3", len(idx))
+	}
+	if idx[0] != idx[2] {
+		t.Errorf("repeated key got distinct indices %d and %d", idx[0], idx[2])
+	}
+	if idx[0] == idx[1] {
+		t.Errorf("distinct keys share index %d", idx[0])
+	}
+	for j, k := range path {
+		if in.Key(idx[j]) != k {
+			t.Errorf("position %d: Key(%d) = %v, want %v", j, idx[j], in.Key(idx[j]), k)
+		}
+	}
+}

@@ -99,19 +99,19 @@ func AppendixA(in *model.Instance) (*AppendixAResult, error) {
 	var stack []int
 	for _, id := range order {
 		it := &items[id]
-		if res.Dual.Satisfied(it.Demand, 1, it.Edges, 1, it.Profit) {
+		if res.Dual.SatisfiedKeys(it.Demand, 1, it.Edges, 1, it.Profit) {
 			continue
 		}
 		var delta float64
 		if singleTree {
 			// Single-tree refinement: skip α, δ = s/|π|.
-			s := it.Profit - res.Dual.BetaSum(it.Edges)
+			s := it.Profit - res.Dual.BetaSumKeys(it.Edges)
 			delta = s / float64(len(it.Critical))
 			for _, e := range it.Critical {
-				res.Dual.Beta[e] += delta
+				res.Dual.AddBetaOf(e, delta)
 			}
 		} else {
-			delta = res.Dual.RaiseUnit(it.Demand, it.Profit, it.Edges, it.Critical)
+			delta = res.Dual.RaiseUnitKeys(it.Demand, it.Profit, it.Edges, it.Critical)
 		}
 		res.Trace.Events = append(res.Trace.Events, engine.RaiseEvent{Step: len(res.Trace.Events), Item: id, Delta: delta})
 		stack = append(stack, id)

@@ -120,7 +120,7 @@ func LambdaAtLeast(items []engine.Item, a *dual.Assignment, mode engine.Mode, la
 		if mode == engine.Narrow {
 			coeff = it.Height
 		}
-		lhs := a.LHS(it.Demand, coeff, it.Edges)
+		lhs := a.LHSKeys(it.Demand, coeff, it.Edges)
 		if lhs < lambda*it.Profit-dual.Tolerance*it.Profit {
 			return fmt.Errorf("verify: item %d only %.6f-satisfied, want ≥ %.6f", i, lhs/it.Profit, lambda)
 		}

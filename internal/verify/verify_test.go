@@ -157,6 +157,6 @@ func TestLambdaAtLeast(t *testing.T) {
 func dualWith(t *testing.T, items []engine.Item, frac float64) *dual.Assignment {
 	t.Helper()
 	a := dual.New()
-	a.Alpha[items[0].Demand] = frac * items[0].Profit
+	a.AddAlphaOf(items[0].Demand, frac*items[0].Profit)
 	return a
 }

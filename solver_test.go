@@ -76,6 +76,118 @@ func TestSolverParallelismBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSolverPreparedCache pins the cross-solve conflict cache: repeated
+// solves of the same instance share one engine.Prepared entry (item
+// building, interning and conflict construction happen once), distinct
+// instance content gets its own entry, and cached solves stay bit-identical
+// to fresh ones.
+func TestSolverPreparedCache(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 7, Parallelism: 2}
+	s := treesched.NewSolver(opts)
+	first, err := s.Solve(batchInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CachedPrepared(); n != 1 {
+		t.Fatalf("cached prepared after first solve = %d, want 1", n)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := s.Solve(batchInstance(t))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.Profit != first.Profit || got.DualBound != first.DualBound ||
+			!reflect.DeepEqual(got.Assignments, first.Assignments) {
+			t.Fatalf("round %d: cached solve diverged: %+v vs %+v", round, got, first)
+		}
+	}
+	if n := s.CachedPrepared(); n != 1 {
+		t.Errorf("cached prepared after repeats = %d, want 1 (identical instances share)", n)
+	}
+
+	// A changed profit is different instance content: new entry, and the
+	// answer must match a fresh one-shot Solve of the changed instance.
+	changed := batchInstance(t)
+	changed.AddDemand(0, 9, 9.5, treesched.Access(1))
+	cachedChanged, err := s.Solve(changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CachedPrepared(); n != 2 {
+		t.Errorf("cached prepared after changed instance = %d, want 2", n)
+	}
+	changed2 := batchInstance(t)
+	changed2.AddDemand(0, 9, 9.5, treesched.Access(1))
+	wantChanged, err := treesched.Solve(changed2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedChanged.Profit != wantChanged.Profit ||
+		!reflect.DeepEqual(cachedChanged.Assignments, wantChanged.Assignments) {
+		t.Errorf("changed-instance solve diverged from one-shot: %+v vs %+v", cachedChanged, wantChanged)
+	}
+}
+
+// TestSolverPreparedCacheConcurrent hammers one Solver from several
+// goroutines over the same instance: all results must agree (the cached
+// Prepared is shared and immutable) and the cache must hold one entry.
+func TestSolverPreparedCacheConcurrent(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 11, Parallelism: 2}
+	s := treesched.NewSolver(opts)
+	want, err := s.Solve(batchInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]*treesched.Result, workers)
+	errs := make([]error, workers)
+	done := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w], errs[w] = s.Solve(batchInstance(t))
+			done <- w
+		}(w)
+	}
+	for range [workers]struct{}{} {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w].Profit != want.Profit || !reflect.DeepEqual(results[w].Assignments, want.Assignments) {
+			t.Errorf("worker %d diverged: %+v vs %+v", w, results[w], want)
+		}
+	}
+	if n := s.CachedPrepared(); n != 1 {
+		t.Errorf("cached prepared = %d, want 1", n)
+	}
+}
+
+// TestSolverSimulateUncached: the Simulate path measures real messages and
+// bypasses the prepared cache but must still agree with the engine.
+func TestSolverSimulateUncached(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.2, Seed: 2, Simulate: true}
+	s := treesched.NewSolver(opts)
+	sim, err := s.Solve(batchInstance(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Rounds == 0 || sim.Messages == 0 {
+		t.Errorf("simulated solve reported no communication: %+v", sim)
+	}
+	if n := s.CachedPrepared(); n != 0 {
+		t.Errorf("Simulate solve populated the prepared cache: %d entries", n)
+	}
+	plain, err := treesched.Solve(batchInstance(t), treesched.Options{Epsilon: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Profit != plain.Profit {
+		t.Errorf("simulate profit %v != engine profit %v", sim.Profit, plain.Profit)
+	}
+}
+
 // TestSingleStageGuarantee is the regression test for the ablation
 // schedule's reported factor: the Panconesi–Sozio-style single stage proves
 // only λ = 1/(5+ε), so its Guarantee must carry the 5+ε factor rather than
