@@ -1,0 +1,90 @@
+package treesched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The Solver's caches evict one least-recently-used entry on overflow (the
+// earlier design wiped the whole map): a hot key that keeps being touched
+// must survive any amount of one-off cache pressure.
+
+func TestLRUHotKeySurvivesPressure(t *testing.T) {
+	c := newLRU[int](4)
+	c.put("hot", 1)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("cold-%d", i), i)
+		if _, ok := c.get("hot"); !ok {
+			t.Fatalf("hot key evicted after %d cold inserts", i+1)
+		}
+		if c.len() > 4 {
+			t.Fatalf("cache grew to %d entries", c.len())
+		}
+	}
+	// The most recent cold keys are still here, older ones evicted singly.
+	if _, ok := c.get("cold-99"); !ok {
+		t.Fatal("most recent cold key evicted")
+	}
+	if _, ok := c.get("cold-0"); ok {
+		t.Fatal("oldest cold key survived a full cache of newer entries")
+	}
+}
+
+func TestLRUUpdateRefreshes(t *testing.T) {
+	c := newLRU[string](2)
+	c.put("a", "1")
+	c.put("b", "2")
+	c.put("a", "3") // refresh: b becomes the eviction candidate
+	c.put("c", "4")
+	if v, ok := c.get("a"); !ok || v != "3" {
+		t.Fatalf("a = %q, %v; want refreshed value", v, ok)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestSolverCacheHotInstanceSurvives drives the real prepared cache past an
+// eviction and checks the hot instance still hits.
+func TestSolverCacheHotInstanceSurvives(t *testing.T) {
+	s := NewSolver(Options{Epsilon: 0.1, Seed: 1})
+	build := func(profit float64) *Instance {
+		in := NewInstance(6)
+		if _, err := in.AddTree([][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}); err != nil {
+			t.Fatal(err)
+		}
+		in.AddDemand(0, 3, profit)
+		in.AddDemand(2, 5, profit/2)
+		return in
+	}
+	hot := build(8)
+	want, err := s.Solve(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CachedPrepared(); got != 1 {
+		t.Fatalf("CachedPrepared = %d, want 1", got)
+	}
+	// Pressure: distinct instances, re-touching the hot one in between.
+	for i := 0; i < maxCachedPrepared+16; i++ {
+		if _, err := s.Solve(build(float64(i + 100))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CachedPrepared(); got != maxCachedPrepared {
+		t.Fatalf("CachedPrepared = %d, want full cache %d", got, maxCachedPrepared)
+	}
+	got, err := s.Solve(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profit != want.Profit || len(got.Assignments) != len(want.Assignments) {
+		t.Fatalf("hot instance result drifted: profit %v vs %v", got.Profit, want.Profit)
+	}
+}

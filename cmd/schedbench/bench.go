@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	treesched "treesched"
 	"treesched/internal/engine"
 	"treesched/internal/workload"
 )
@@ -16,7 +17,9 @@ import (
 // the solve pipeline, emitted as one JSON document so the perf trajectory
 // can accumulate across commits (schema below). It times the engine-level
 // solve over prebuilt items — the quantity BenchmarkEngineUnitTree
-// measures — serial and through the sharded parallel pipeline.
+// measures — serial and through the sharded parallel pipeline, plus the
+// incremental churn workload (Session.Update + Solve per round of demand
+// arrivals/departures).
 
 // benchSchema identifies the report layout. Bump when fields change.
 const benchSchema = "treesched/bench/v1"
@@ -152,6 +155,51 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 			})
 		}
 	}
+
+	// The incremental churn workloads: a Session re-solving as demands
+	// depart and as many arrive each round, the steady state the
+	// delta-aware Prepared exists for. churn/m=768 churns ~5% of a fully
+	// contended single-component instance (the incremental path's worst
+	// case); churn-fleet/m=1024 churns one network of a disjoint fleet per
+	// round (the locality regime a multi-tenant service sees, where only
+	// the touched component rebuilds). ns_per_op is the average cost of one
+	// (Update + Solve) round over churnRounds rounds.
+	for _, sc := range []struct {
+		name  string
+		cfg   workload.TreeConfig
+		local bool
+	}{
+		{name: "churn/m=768", cfg: workload.TreeConfig{
+			Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
+		}},
+		{name: "churn-fleet/m=1024", cfg: workload.TreeConfig{
+			Vertices: 256, Trees: 16, Demands: 1024, ProfitRatio: 16,
+			AccessMin: 1, AccessMax: 1,
+		}, local: true},
+	} {
+		var serialNs int64
+		for _, p := range []int{1, parallel} {
+			ns, nItems, err := timeChurn(sc.cfg, seed, p, sc.local)
+			if err != nil {
+				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
+			}
+			if p == 1 {
+				serialNs = ns
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            sc.name,
+				Items:           nItems,
+				Mode:            engine.Unit.String(),
+				Parallelism:     p,
+				Iters:           churnRounds,
+				NsPerOp:         ns,
+				SolvesPerSec:    1e9 / float64(ns),
+				ItemsPerSec:     float64(nItems) * 1e9 / float64(ns),
+				SerialNsPerOp:   serialNs,
+				SpeedupVsSerial: float64(serialNs) / float64(ns),
+			})
+		}
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -162,6 +210,127 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
 	return nil
+}
+
+// churnRounds is the number of measured churn rounds; the churn fraction
+// per round is churnDenom⁻¹.
+const (
+	churnRounds = 12
+	churnDenom  = 20 // 5% of the live demands depart (and arrive) per round
+)
+
+// timeChurn measures the incremental re-solve workload: one Session over a
+// fixed network set, churning demands and re-solving each round. With
+// localNet, each round's churn is confined to one rotating network (half of
+// its live demands); otherwise ~5% of all demands churn uniformly. Returns
+// the average ns per (Update + Solve) round and the initial item count.
+func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bool) (int64, int, error) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	inst := treesched.NewInstance(cfg.Vertices)
+	for _, t := range in.Trees {
+		edges := make([][2]int, 0, t.N()-1)
+		for _, e := range t.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		if _, err := inst.AddTree(edges); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, d := range in.Demands {
+		inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...))
+	}
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: seed, Parallelism: parallelism})
+	sess, err := s.Session(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	nItems := len(in.Demands)
+
+	// Pre-generate every round's churn before the clock starts, modelling
+	// the live set and the ids Update will assign (sequential from the
+	// initial demand count), so the timed — and CI-gated — region contains
+	// only Update + Solve.
+	live := make([]int, len(in.Demands))
+	nets := make(map[int]int, len(in.Demands)) // demand id -> pinned network
+	for i := range live {
+		live[i] = i
+		if len(in.Demands[i].Access) == 1 {
+			nets[i] = in.Demands[i].Access[0]
+		}
+	}
+	next := len(in.Demands)
+	rounds := make([]treesched.Churn, churnRounds)
+	for r := range rounds {
+		var c treesched.Churn
+		if localNet {
+			q := r % cfg.Trees
+			var onNet []int
+			for _, id := range live {
+				if nets[id] == q {
+					onNet = append(onNet, id)
+				}
+			}
+			c.Remove = onNet[:len(onNet)/2]
+			for range c.Remove {
+				u, v := rng.Intn(cfg.Vertices), rng.Intn(cfg.Vertices)
+				if u == v {
+					v = (v + 1) % cfg.Vertices
+				}
+				c.Add = append(c.Add, treesched.NewDemand{
+					U: u, V: v, Profit: 1 + rng.Float64()*15, Access: []int{q},
+				})
+			}
+		} else {
+			perm := rng.Perm(len(live))[:len(live)/churnDenom]
+			for _, i := range perm {
+				c.Remove = append(c.Remove, live[i])
+			}
+			for range c.Remove {
+				u, v := rng.Intn(cfg.Vertices), rng.Intn(cfg.Vertices)
+				if u == v {
+					v = (v + 1) % cfg.Vertices
+				}
+				c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*15})
+			}
+		}
+		rounds[r] = c
+		gone := make(map[int]bool, len(c.Remove))
+		for _, id := range c.Remove {
+			gone[id] = true
+		}
+		kept := live[:0]
+		for _, id := range live {
+			if !gone[id] {
+				kept = append(kept, id)
+			}
+		}
+		live = kept
+		for _, nd := range c.Add {
+			if len(nd.Access) == 1 {
+				nets[next] = nd.Access[0]
+			}
+			live = append(live, next)
+			next++
+		}
+	}
+
+	if _, err := sess.Solve(); err != nil { // warm the shard decomposition
+		return 0, 0, err
+	}
+	start := time.Now()
+	for _, c := range rounds {
+		if _, err := sess.Update(c); err != nil {
+			return 0, 0, err
+		}
+		if _, err := sess.Solve(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / churnRounds, nItems, nil
 }
 
 // timeSolve measures the best-of-iters wall time of one engine solve.

@@ -83,6 +83,49 @@
 // outputs for a given seed differ from pre-switch releases, and the perf
 // trajectory re-baselined once at BENCH_dense_state.json.
 //
+// # Incremental state: Sessions, deltas, and their invariants
+//
+// Preparation — interning the dense layout and building the §2 conflict
+// adjacency — is fused into one pass: the interned demand slots and edge
+// indices double as the conflict grouping (no second hashing of the same
+// keys), the serial build discovers each conflicting pair once at its
+// larger member (the smaller-neighbor prefix of every row is recovered by
+// mirroring the suffixes, never by sorting), and edge groups whose member
+// lists are identical — series edges traversed by exactly the same paths —
+// collapse to one representative before the quadratic scans.
+//
+// For churning workloads the prepared state is a value to update, not to
+// rebuild. Solver.Session pins a solver to one instance whose networks are
+// fixed; Session.Update applies demand arrivals and departures as an
+// engine-level delta (engine.Prepared.Apply). A delta may touch:
+//
+//   - the item slice: survivors stranded past the new length compact down
+//     into freed slots, arrivals fill the remaining slots and append —
+//     every id stays equal to its position;
+//   - the dense layout, monotonically: arrivals intern at the end, and
+//     departures leave stale slots behind. A stale slot holds zero in
+//     every fresh per-run assignment and is referenced by no view, so it
+//     cannot influence a raise, a satisfaction test, or the dual objective
+//     (which sums by sorted external key; adding a zero-valued stale slot
+//     is exact);
+//   - the member lists and adjacency rows of exactly the groups and items
+//     the churn reached: rows filter out departed neighbors (preserving
+//     their sort order) and merge in arriving ones (assigned in ascending
+//     id order), so nothing is re-sorted or rescanned from its groups;
+//   - the lazy shard decomposition, which refreshes on the next parallel
+//     run reusing every component the churn never touched.
+//
+// Determinism is unchanged: a Session's solve is bitwise identical to
+// preparing its current item set from scratch, at every worker count — the
+// incremental-state suite (internal/engine delta tests and fuzz target)
+// asserts adjacency, components, layout semantics, and solve results after
+// arbitrary delta sequences. The delta path pays off in proportion to
+// churn locality: on a fleet of disjoint networks where a round churns one
+// network, the preparation update runs an order of magnitude faster than a
+// rebuild; on a single fully-contended component, churning 5% of the
+// demands changes most conflict rows, and the update's advantage narrows
+// to the constant-factor edit cost (~2x).
+//
 // # Benchmark telemetry: the treesched/bench/v1 schema
 //
 // `schedbench -bench-json FILE` runs the solve performance suite and
@@ -99,15 +142,18 @@
 //     parallelism-1 run of the same scenario).
 //
 // Scenarios cover the contended single-component sizes of
-// BenchmarkEngineUnitTree (unit-tree/m=48..768) and a sharded fleet of
+// BenchmarkEngineUnitTree (unit-tree/m=48..768), a sharded fleet of
 // disjoint networks (unit-tree/fleet; unit-tree/fleet-quick in -quick
-// runs), the pipeline's best case.
+// runs), the pipeline's best case, and the incremental churn workloads
+// (churn/m=768, churn-fleet/m=1024), whose ns_per_op is the average cost
+// of one Session (Update + Solve) round.
 //
 // `schedbench -compare OLD.json NEW.json` diffs two reports by
 // (scenario, parallelism) and prints per-size speedups;
-// `-max-regression 0.15 -at m=768` turns it into the CI regression gate,
-// failing when the named scenario's ns/op grew beyond the threshold
-// relative to the checked-in snapshot.
+// `-max-regression 0.15 -at unit-tree/m=768` (and `-at churn`) turns it
+// into the CI regression gate, failing when the matched scenarios' ns/op
+// grew beyond the threshold relative to the checked-in snapshot (-at is a
+// substring filter on scenario names).
 //
 // # The Simulate execution path
 //

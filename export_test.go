@@ -1,0 +1,15 @@
+package treesched
+
+import (
+	"slices"
+
+	"treesched/internal/engine"
+)
+
+// SessionItems exposes a copy of the session's current engine item set to
+// the external test package, for scratch-equality assertions.
+func SessionItems(sess *Session) []engine.Item {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return slices.Clone(sess.p.Items())
+}

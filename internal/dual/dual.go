@@ -47,10 +47,16 @@ type Index struct {
 }
 
 // NewIndex returns an empty index.
-func NewIndex() *Index {
+func NewIndex() *Index { return NewIndexSized(0) }
+
+// NewIndexSized returns an empty index with map capacity hints for roughly
+// `demands` demand slots (and a proportional number of edges), so interning
+// a known-size item set does not rehash its way up from empty tables.
+func NewIndexSized(demands int) *Index {
 	return &Index{
-		demandSlot: make(map[int]int32),
-		edges:      model.NewEdgeInterner(),
+		demandSlot: make(map[int]int32, demands),
+		demandIDs:  make([]int, 0, demands),
+		edges:      model.NewEdgeInternerSized(4 * demands),
 	}
 }
 

@@ -33,15 +33,66 @@ func RunArbitrary(items []Item, cfg Config) (*ArbitraryResult, error) {
 // the sharded parallel pipeline on `workers` goroutines. Results are
 // bit-identical to RunArbitrary at every worker count.
 func RunArbitraryParallel(items []Item, cfg Config, workers int) (*ArbitraryResult, error) {
-	wide, narrow, wideIDs, narrowIDs := SplitWideNarrow(items)
+	return PrepareArbitraryWorkers(items, workers).RunParallel(cfg, workers)
+}
 
-	out := &ArbitraryResult{}
-	var wideSel, narrowSel []int
+// ArbitraryPrepared is the Config-independent run state of the §6
+// arbitrary-height algorithm: the wide/narrow split of an item set with
+// each non-empty height class fully prepared (dense layout, conflict
+// adjacency, shard decomposition). Like Prepared, it is safe for concurrent
+// runs, so the root Solver caches it across solves — arbitrary-heights
+// re-solves skip conflict construction for both classes.
+type ArbitraryPrepared struct {
+	items              []Item
+	delta              int
+	wide, narrow       *Prepared // nil when the class is empty
+	wideIDs, narrowIDs []int
+}
+
+// PrepareArbitrary builds the arbitrary-height run state with serial
+// conflict builds.
+func PrepareArbitrary(items []Item) *ArbitraryPrepared {
+	return PrepareArbitraryWorkers(items, 1)
+}
+
+// PrepareArbitraryWorkers is PrepareArbitrary with the per-class conflict
+// adjacencies built on a worker pool of the given size.
+func PrepareArbitraryWorkers(items []Item, workers int) *ArbitraryPrepared {
+	wide, narrow, wideIDs, narrowIDs := SplitWideNarrow(items)
+	ap := &ArbitraryPrepared{
+		items:   items,
+		delta:   MaxCritical(items),
+		wideIDs: wideIDs, narrowIDs: narrowIDs,
+	}
 	if len(wide) > 0 {
+		ap.wide = PrepareWorkers(wide, workers)
+	}
+	if len(narrow) > 0 {
+		ap.narrow = PrepareWorkers(narrow, workers)
+	}
+	return ap
+}
+
+// Items returns the full (unsplit) item set. Callers must not mutate it.
+func (ap *ArbitraryPrepared) Items() []Item { return ap.items }
+
+// MaxCritical returns ∆ = max |π(d)| over the full item set.
+func (ap *ArbitraryPrepared) MaxCritical() int { return ap.delta }
+
+// RunParallel executes the §6 algorithm over the prepared state on
+// `workers` goroutines: the unit rule on the wide class, the narrow rule on
+// the narrow class, then the per-resource combination. Bit-identical to
+// RunArbitrary at every worker count.
+func (ap *ArbitraryPrepared) RunParallel(cfg Config, workers int) (*ArbitraryResult, error) {
+	out := &ArbitraryResult{}
+	var wideItems, narrowItems []Item
+	var wideSel, narrowSel []int
+	if ap.wide != nil {
+		wideItems = ap.wide.Items()
 		wcfg := cfg
 		wcfg.Mode = Unit
 		wcfg.Xi = 0 // re-derive from the wide item set
-		res, err := RunParallel(wide, wcfg, workers)
+		res, err := ap.wide.RunParallel(wcfg, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -50,11 +101,12 @@ func RunArbitraryParallel(items []Item, cfg Config, workers int) (*ArbitraryResu
 		out.CommRounds += res.CommRounds
 		wideSel = res.Selected
 	}
-	if len(narrow) > 0 {
+	if ap.narrow != nil {
+		narrowItems = ap.narrow.Items()
 		ncfg := cfg
 		ncfg.Mode = Narrow
 		ncfg.Xi = 0
-		res, err := RunParallel(narrow, ncfg, workers)
+		res, err := ap.narrow.RunParallel(ncfg, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +115,7 @@ func RunArbitraryParallel(items []Item, cfg Config, workers int) (*ArbitraryResu
 		out.CommRounds += res.CommRounds
 		narrowSel = res.Selected
 	}
-	out.Selected, out.Profit = CombineSelections(wide, narrow, wideSel, narrowSel, wideIDs, narrowIDs)
+	out.Selected, out.Profit = CombineSelections(wideItems, narrowItems, wideSel, narrowSel, ap.wideIDs, ap.narrowIDs)
 	return out, nil
 }
 

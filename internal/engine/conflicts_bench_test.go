@@ -3,13 +3,15 @@ package engine_test
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"treesched/internal/engine"
 	"treesched/internal/workload"
 )
 
-func BenchmarkBuildConflictsWorkers(b *testing.B) {
+func conflictsBenchItems(b *testing.B) []engine.Item {
+	b.Helper()
 	rng := rand.New(rand.NewSource(2))
 	in, err := workload.RandomTreeInstance(workload.TreeConfig{
 		Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
@@ -21,6 +23,11 @@ func BenchmarkBuildConflictsWorkers(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return items
+}
+
+func BenchmarkBuildConflictsWorkers(b *testing.B) {
+	items := conflictsBenchItems(b)
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			b.ReportAllocs()
@@ -28,5 +35,100 @@ func BenchmarkBuildConflictsWorkers(b *testing.B) {
 				engine.BuildConflictsWorkers(items, p)
 			}
 		})
+	}
+}
+
+// BenchmarkPrepareCold measures the full fused preparation — interning,
+// member lists, conflict adjacency — the fixed cost the delta path avoids.
+func BenchmarkPrepareCold(b *testing.B) {
+	items := conflictsBenchItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Prepare(items)
+	}
+}
+
+// BenchmarkApplyDelta measures one incremental churn round at the same
+// size: 5% of the items depart and the same items re-arrive in a single
+// Apply. Compare against BenchmarkPrepareCold for the delta-vs-rebuild
+// ratio. This is the incremental path's worst case — one fully contended
+// component, where churning 5% of the demands dirties almost every
+// adjacency row — so the ratio here is modest; BenchmarkApplyDeltaFleet
+// measures the locality regime the path is built for.
+func BenchmarkApplyDelta(b *testing.B) {
+	items := conflictsBenchItems(b)
+	p := engine.Prepare(slices.Clone(items))
+	k := len(items) / 20
+	remove := make([]int, k)
+	for i := range remove {
+		remove[i] = i * (len(items) / k) // spread the churn across the set
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := p.Items()
+		add := make([]engine.Item, k)
+		for j, id := range remove {
+			add[j] = cur[id]
+		}
+		if err := p.Apply(engine.Delta{Remove: remove, Add: add}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fleetBenchItems(b *testing.B) []engine.Item {
+	b.Helper()
+	rng := rand.New(rand.NewSource(6))
+	in, err := workload.RandomTreeInstance(workload.TreeConfig{
+		Vertices: 256, Trees: 16, Demands: 1024, ProfitRatio: 16,
+		AccessMin: 1, AccessMax: 1,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return items
+}
+
+// BenchmarkPrepareColdFleet is the rebuild baseline on the fleet workload.
+func BenchmarkPrepareColdFleet(b *testing.B) {
+	items := fleetBenchItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Prepare(items)
+	}
+}
+
+// BenchmarkApplyDeltaFleet measures local churn on a fleet of disjoint
+// networks: each round churns ~3% of the demands, all attached to one
+// rotating network, the arrival pattern of a multi-tenant service. Only
+// the touched component's rows and shards rebuild, so the delta-vs-rebuild
+// ratio is what the incremental path is sized for (target ≥ 5×).
+func BenchmarkApplyDeltaFleet(b *testing.B) {
+	items := fleetBenchItems(b)
+	p := engine.Prepare(slices.Clone(items))
+	trees := 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % trees
+		cur := p.Items()
+		var remove []int
+		var add []engine.Item
+		for id := range cur {
+			if cur[id].Resource == q && len(remove) < len(cur)/32 {
+				remove = append(remove, id)
+				add = append(add, cur[id])
+			}
+		}
+		if err := p.Apply(engine.Delta{Remove: remove, Add: add}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

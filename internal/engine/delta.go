@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements the incremental re-solve path: a Prepared item set
+// updated in place as demands arrive and depart on an unchanged network,
+// paying for the delta instead of a rebuild.
+//
+// # What a delta may touch
+//
+// A Delta removes items by id and appends new ones; the network (the edge
+// universe the paths draw from) is assumed fixed. Apply keeps every
+// invariant Prepare established:
+//
+//   - items stay densely indexed (ID = position): survivors stranded past
+//     the new length move down into freed slots, the remaining freed slots
+//     take the additions, and the rest appends. A displaced survivor is
+//     treated exactly like a removal at its old id plus an arrival at its
+//     new one, which keeps every patched row and member list sorted by
+//     construction (below);
+//   - the dense layout extends monotonically — removed items leave their
+//     interned demand slots and edge indices behind. Stale slots hold zero
+//     in every fresh per-run assignment and are referenced by no view, so
+//     they cannot influence any raise, satisfaction test, or the dual
+//     objective (Value sums by sorted external key; adding a zero-valued
+//     stale slot is exact). This is what makes incremental solve results
+//     bitwise identical to a from-scratch Prepare over the same item slice,
+//     even though the slot numbering differs;
+//   - the group member lists and the conflict adjacency are patched, not
+//     rebuilt. Only the groups of departed (removed or displaced) and
+//     arriving items rewrite their member lists, and only rows that lose a
+//     departed neighbor or gain an arriving one are rewritten — by
+//     filtering (which preserves their sort order) and merging in the
+//     arrivals (whose new ids are assigned in ascending order), so no row
+//     or member list is ever re-sorted, let alone rescanned from its
+//     groups. Untouched rows are reused verbatim, which is where the
+//     delta-vs-rebuild speedup comes from;
+//   - the lazily-built shard decomposition is marked stale; the next
+//     ensureShards recomputes the components and reuses the relabeled shard
+//     of every component the churn never reached.
+//
+// Apply mutates the Prepared (including the item slice it was constructed
+// over) and must not overlap a Run/RunParallel or another Apply on the same
+// value. Between mutations the Prepared remains safe for concurrent runs.
+
+// Delta describes demand-instance churn on an unchanged network: items to
+// remove, by their current ids, and items to add. Apply assigns the ID
+// field of every added item; the remaining fields must satisfy the same
+// invariants Run validates (group ≥ 1, non-empty path and critical set,
+// positive profit, height in (0,1]).
+type Delta struct {
+	Remove []int
+	Add    []Item
+}
+
+// Apply updates the prepared state to the post-churn item set. On error the
+// Prepared is unchanged. The resulting state is equivalent to
+// PrepareWorkers over the resulting Items() slice: identical adjacency,
+// identical components, and bitwise-identical solve results at every worker
+// count.
+func (p *Prepared) Apply(d Delta) error {
+	n := len(p.items)
+	removed := make([]bool, n)
+	for _, id := range d.Remove {
+		if id < 0 || id >= n {
+			return fmt.Errorf("engine: delta removes unknown item %d (have %d)", id, n)
+		}
+		if removed[id] {
+			return fmt.Errorf("engine: delta removes item %d twice", id)
+		}
+		removed[id] = true
+	}
+	for i := range d.Add {
+		it := &d.Add[i]
+		if it.Group < 1 {
+			return fmt.Errorf("engine: delta adds item %d with group %d < 1", i, it.Group)
+		}
+		if len(it.Edges) == 0 || len(it.Critical) == 0 {
+			return fmt.Errorf("engine: delta adds item %d with empty path or critical set", i)
+		}
+		if !(it.Profit > 0) {
+			return fmt.Errorf("engine: delta adds item %d with profit %v", i, it.Profit)
+		}
+		if !(it.Height > 0) || it.Height > 1 {
+			return fmt.Errorf("engine: delta adds item %d with height %v", i, it.Height)
+		}
+	}
+	newN := n - len(d.Remove) + len(d.Add)
+	lay := p.lay
+
+	// Survivors stranded past the new length move down into freed slots
+	// (ascending on both sides, so mover new ids ascend); the remaining
+	// free slots — including the appended range when the set grows — take
+	// the additions in order, so len(free) - len(movers) == len(d.Add)
+	// always, and every arriving id (mover or addition) exceeds no later
+	// one. drop marks the ids that disappear from rows and member lists:
+	// removals and the movers' old ids.
+	var movers, free []int
+	for i := newN; i < n; i++ {
+		if !removed[i] {
+			movers = append(movers, i)
+		}
+	}
+	for _, r := range d.Remove {
+		if r < newN {
+			free = append(free, r)
+		}
+	}
+	slices.Sort(free)
+	for i := n; i < newN; i++ {
+		free = append(free, i)
+	}
+	drop := removed
+	renum := make([]int, n) // old id -> new id (-1 for removed)
+	for i := range renum {
+		renum[i] = i
+	}
+	for _, r := range d.Remove {
+		renum[r] = -1
+	}
+	for i, m := range movers {
+		renum[m] = free[i]
+		drop[m] = true
+	}
+
+	// Rows referencing a departed id must filter it out. Marked in old ids;
+	// departed items caught in the mark are filtered below.
+	dirtyOld := make([]bool, n)
+	for _, r := range d.Remove {
+		for _, w := range p.adj[r] {
+			dirtyOld[w] = true
+		}
+	}
+	for _, m := range movers {
+		for _, w := range p.adj[m] {
+			dirtyOld[w] = true
+		}
+	}
+
+	// Mark the groups whose member lists change: those of the removed and
+	// displaced items. The group universe may grow when additions intern
+	// new demands or edges; grown groups start empty.
+	oldD, oldE := lay.ix.NumDemands(), lay.ix.NumEdges()
+	dTouched := make([]bool, oldD)
+	eTouched := make([]bool, oldE)
+	markGroups := func(v *ItemView) {
+		dTouched[v.Slot] = true
+		for _, e := range v.Edges {
+			eTouched[e] = true
+		}
+	}
+	for _, r := range d.Remove {
+		markGroups(&lay.views[r])
+	}
+	for _, m := range movers {
+		markGroups(&lay.views[m])
+	}
+
+	// Compact items, views and owner slots, then intern the additions.
+	for i, m := range movers {
+		h := free[i]
+		p.items[h] = p.items[m]
+		p.items[h].ID = h
+		lay.views[h] = lay.views[m]
+		lay.ownerSlot[h] = lay.ownerSlot[m]
+	}
+	if newN <= n {
+		p.items = p.items[:newN]
+		lay.views = lay.views[:newN]
+		lay.ownerSlot = lay.ownerSlot[:newN]
+	}
+	addSlots := free[len(movers):]
+	for i := range d.Add {
+		it := d.Add[i]
+		id := addSlots[i]
+		it.ID = id
+		if id < len(p.items) {
+			p.items[id] = it
+		} else { // addSlots ascend, so appends arrive in position order
+			p.items = append(p.items, it)
+			lay.views = append(lay.views, ItemView{})
+			lay.ownerSlot = append(lay.ownerSlot, 0)
+		}
+		lay.views[id] = internItem(lay.ix, &p.items[id])
+		lay.ownerSlot[id] = lay.internOwner(it.Owner)
+	}
+
+	// Patch the member lists in three steps, none of which disturbs their
+	// ascending order: touched groups filter out departed ids in place;
+	// grown groups appear empty; every arriving id — mover new ids first
+	// (ascending), then addition ids (ascending, all larger) — appends to
+	// its groups, and one backward merge per appended group folds the
+	// sorted tail back in. No member list is ever sorted.
+	for s := range dTouched {
+		if dTouched[s] {
+			p.demandMembers[s] = filterDropped(p.demandMembers[s], drop)
+		}
+	}
+	for e := range eTouched {
+		if eTouched[e] {
+			p.edgeMembers[e] = filterDropped(p.edgeMembers[e], drop)
+		}
+	}
+	for len(p.demandMembers) < lay.ix.NumDemands() {
+		p.demandMembers = append(p.demandMembers, nil)
+	}
+	for len(p.edgeMembers) < lay.ix.NumEdges() {
+		p.edgeMembers = append(p.edgeMembers, nil)
+	}
+	var appendedD, appendedE []int32
+	dBound := make([]int32, len(p.demandMembers))
+	eBound := make([]int32, len(p.edgeMembers))
+	for i := range dBound {
+		dBound[i] = -1
+	}
+	for i := range eBound {
+		eBound[i] = -1
+	}
+	arrive := func(id int) {
+		v := &lay.views[id]
+		if dBound[v.Slot] < 0 {
+			dBound[v.Slot] = int32(len(p.demandMembers[v.Slot]))
+			appendedD = append(appendedD, v.Slot)
+		}
+		p.demandMembers[v.Slot] = append(p.demandMembers[v.Slot], int32(id))
+		for _, e := range v.Edges {
+			if eBound[e] < 0 {
+				eBound[e] = int32(len(p.edgeMembers[e]))
+				appendedE = append(appendedE, e)
+			}
+			p.edgeMembers[e] = append(p.edgeMembers[e], int32(id))
+		}
+	}
+	for _, f := range free[:len(movers)] {
+		arrive(f)
+	}
+	for _, id := range addSlots {
+		arrive(id)
+	}
+	var tail []int32 // scratch right run for the backward merges
+	for _, s := range appendedD {
+		tail = mergeTail(p.demandMembers[s], int(dBound[s]), tail)
+	}
+	for _, e := range appendedE {
+		tail = mergeTail(p.edgeMembers[e], int(eBound[e]), tail)
+	}
+
+	// Discover the arriving conflict pairs. A mover reuses its old neighbor
+	// set: its new id lands in each surviving neighbor's extras. An added
+	// item scans its (patched) group member lists once with stamp dedup;
+	// pairs among additions are covered by each side's own row build below.
+	// Extras target new ids and collect in ascending arriving-id order.
+	isAdded := make([]bool, newN)
+	for _, id := range addSlots {
+		isAdded[id] = true
+	}
+	extras := make([][]int32, newN)
+	for i, m := range movers {
+		nm := int32(free[i])
+		for _, w := range p.adj[m] {
+			if nw := renum[w]; nw >= 0 {
+				extras[nw] = append(extras[nw], nm)
+			}
+		}
+	}
+	stamp := make([]int32, newN)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for _, id := range addSlots {
+		v := &lay.views[id]
+		id32 := int32(id)
+		for _, m := range p.demandMembers[v.Slot] {
+			if m != id32 && !isAdded[m] && stamp[m] != id32 {
+				stamp[m] = id32
+				extras[m] = append(extras[m], id32)
+			}
+		}
+		for _, e := range v.Edges {
+			for _, m := range p.edgeMembers[e] {
+				if m != id32 && !isAdded[m] && stamp[m] != id32 {
+					stamp[m] = id32
+					extras[m] = append(extras[m], id32)
+				}
+			}
+		}
+	}
+
+	// Patch the adjacency. Clean rows (no departed neighbor, no extras)
+	// move to their new positions verbatim. A dirty survivor row filters
+	// out departed ids in place — surviving neighbors keep their ids, so
+	// order is preserved — and one backward merge folds in its ascending
+	// extras: O(degree), no sort, no group rescan. Only arriving additions
+	// build their rows from the member lists. dirtyNew doubles as the
+	// churn-reach set for shard reuse.
+	dirtyNew := make([]bool, newN)
+	newAdj := make([][]int, newN)
+	for w := 0; w < n; w++ {
+		nw := renum[w]
+		if nw < 0 {
+			continue
+		}
+		row := p.adj[w]
+		if !dirtyOld[w] && len(extras[nw]) == 0 {
+			newAdj[nw] = row
+			continue
+		}
+		dirtyNew[nw] = true
+		k := 0
+		for _, x := range row {
+			if !drop[x] {
+				row[k] = x
+				k++
+			}
+		}
+		row = row[:k]
+		if ex := extras[nw]; len(ex) > 0 {
+			row = slices.Grow(row, len(ex))[:k+len(ex)]
+			i, j := k-1, len(ex)-1
+			for t := len(row) - 1; j >= 0; t-- {
+				if i >= 0 && row[i] > int(ex[j]) {
+					row[t] = row[i]
+					i--
+				} else {
+					row[t] = int(ex[j])
+					j--
+				}
+			}
+		}
+		newAdj[nw] = row
+	}
+	var buf []int
+	for _, id := range addSlots {
+		dirtyNew[id] = true
+		v := &lay.views[id]
+		id32 := int32(id)
+		buf = buf[:0]
+		for _, m := range p.demandMembers[v.Slot] {
+			if m != id32 && stamp[m] != -2-id32 {
+				stamp[m] = -2 - id32 // fresh stamp space for the second scan
+				buf = append(buf, int(m))
+			}
+		}
+		for _, e := range v.Edges {
+			for _, m := range p.edgeMembers[e] {
+				if m != id32 && stamp[m] != -2-id32 {
+					stamp[m] = -2 - id32
+					buf = append(buf, int(m))
+				}
+			}
+		}
+		slices.Sort(buf)
+		newAdj[id] = slices.Clone(buf)
+	}
+	p.adj = newAdj
+
+	// Invalidate the lazy shard decomposition, remembering which items the
+	// churn reached so the next ensureShards can keep untouched shards.
+	p.shardMu.Lock()
+	if p.shardsBuilt {
+		p.shardsStale = true
+		nt := make([]bool, newN)
+		for w := 0; w < n; w++ {
+			if nw := renum[w]; nw >= 0 && w < len(p.touched) && p.touched[w] {
+				nt[nw] = true
+			}
+		}
+		for i := range dirtyNew {
+			if dirtyNew[i] {
+				nt[i] = true
+			}
+		}
+		for i := range movers {
+			nt[free[i]] = true
+		}
+		p.touched = nt
+	}
+	p.shardMu.Unlock()
+	return nil
+}
+
+// filterDropped compacts a member list in place, removing dropped ids.
+// Surviving ids are unchanged, so the list stays ascending.
+func filterDropped(list []int32, drop []bool) []int32 {
+	k := 0
+	for _, v := range list {
+		if !drop[v] {
+			list[k] = v
+			k++
+		}
+	}
+	return list[:k]
+}
+
+// mergeTail restores a member list that is two ascending runs — the
+// filtered prefix list[:bound] and the appended arrivals list[bound:] —
+// into one, merging backward through the scratch buffer (returned for
+// reuse). Writes at position t never reach unmerged prefix entries: t is
+// always at least i+1 while the scratch holds the right run.
+func mergeTail(list []int32, bound int, scratch []int32) []int32 {
+	scratch = append(scratch[:0], list[bound:]...)
+	i, j := bound-1, len(scratch)-1
+	for t := len(list) - 1; j >= 0; t-- {
+		if i >= 0 && list[i] > scratch[j] {
+			list[t] = list[i]
+			i--
+		} else {
+			list[t] = scratch[j]
+			j--
+		}
+	}
+	return scratch
+}

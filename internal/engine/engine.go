@@ -15,9 +15,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"slices"
-	"sync"
 
 	"treesched/internal/dual"
 	"treesched/internal/mis"
@@ -326,148 +323,6 @@ func MaxCritical(items []Item) int {
 		}
 	}
 	return d
-}
-
-// BuildConflicts constructs the conflict adjacency of §2 over the items:
-// two items conflict iff they share a demand or they share an edge (which
-// implies the same resource, since edge keys embed the resource id).
-func BuildConflicts(items []Item) [][]int {
-	return buildConflicts(items, 1)
-}
-
-// BuildConflictsWorkers is BuildConflicts computed on a worker pool of the
-// given size; the adjacency is identical at any worker count.
-func BuildConflictsWorkers(items []Item, workers int) [][]int {
-	return buildConflicts(items, workers)
-}
-
-// buildConflicts is BuildConflicts over an optional worker pool. Items are
-// first grouped by shared demand and by shared edge; every group's member
-// list is ascending because items are scanned in id order. The adjacency is
-// then emitted neighbor-by-neighbor in ascending w, so each row comes out
-// sorted and deduplicated (the last-element check) with no per-row sort and
-// no map access on the quadratic path — the dominant cost on contended
-// instances, where hub edges put hundreds of items in one group. Workers
-// partition the rows; binary search into the ascending member lists keeps
-// each worker's share of the quadratic work proportional to its rows, so
-// the output is identical — and the total work near-constant — at any
-// worker count.
-func buildConflicts(items []Item, workers int) [][]int {
-	n := len(items)
-	adj := make([][]int, n)
-	byDemand := make(map[int]int)
-	byEdge := make(map[model.EdgeKey]int)
-	var groups [][]int
-	memberships := make([][]int32, n) // group indices containing each item
-	for i := range items {
-		gd, ok := byDemand[items[i].Demand]
-		if !ok {
-			gd = len(groups)
-			groups = append(groups, nil)
-			byDemand[items[i].Demand] = gd
-		}
-		groups[gd] = append(groups[gd], i)
-		memberships[i] = append(memberships[i], int32(gd))
-		for _, e := range items[i].Edges {
-			ge, ok := byEdge[e]
-			if !ok {
-				ge = len(groups)
-				groups = append(groups, nil)
-				byEdge[e] = ge
-			}
-			groups[ge] = append(groups[ge], i)
-			memberships[i] = append(memberships[i], int32(ge))
-		}
-	}
-	// More workers than processors (or tiny inputs) would add pure
-	// scheduling overhead: the passes below divide CPU-bound work, so cap
-	// at what the machine can actually run at once.
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 || n < 2*workers {
-		workers = 1
-	}
-	// Two passes over the same traversal, each row-partitioned: count exact
-	// degrees, prefix-sum into one flat backing array, then fill. Exact
-	// sizing avoids append-grow churn — the adjacency of a contended
-	// instance runs to millions of entries, and growing rows one append at
-	// a time (worse: from concurrent goroutines) is allocator-bound.
-	last := make([]int32, n) // last neighbor seen per row (dedup), -1 = none
-	counts := make([]int32, n)
-	countPass := func(lo, hi int) {
-		for w := 0; w < n; w++ {
-			for _, g := range memberships[w] {
-				members := groups[g]
-				i := 0
-				if lo > 0 {
-					i, _ = slices.BinarySearch(members, lo)
-				}
-				for ; i < len(members) && members[i] < hi; i++ {
-					if v := members[i]; v != w && last[v] != int32(w) {
-						last[v] = int32(w)
-						counts[v]++
-					}
-				}
-			}
-		}
-	}
-	var offsets, flat, next []int
-	fillPass := func(lo, hi int) {
-		for w := 0; w < n; w++ {
-			for _, g := range memberships[w] {
-				members := groups[g]
-				i := 0
-				if lo > 0 {
-					i, _ = slices.BinarySearch(members, lo)
-				}
-				for ; i < len(members) && members[i] < hi; i++ {
-					if v := members[i]; v != w && last[v] != int32(w) {
-						last[v] = int32(w)
-						flat[next[v]] = w
-						next[v]++
-					}
-				}
-			}
-		}
-	}
-	inParallel := func(pass func(lo, hi int)) {
-		if workers == 1 {
-			pass(0, n)
-			return
-		}
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for lo := 0; lo < n; lo += chunk {
-			hi := min(lo+chunk, n)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				pass(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
-	resetLast := func() {
-		for i := range last {
-			last[i] = -1
-		}
-	}
-	resetLast()
-	inParallel(countPass)
-	offsets = make([]int, n+1)
-	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + int(counts[v])
-	}
-	flat = make([]int, offsets[n])
-	next = make([]int, n)
-	copy(next, offsets[:n])
-	resetLast()
-	inParallel(fillPass)
-	for v := 0; v < n; v++ {
-		adj[v] = flat[offsets[v]:offsets[v+1]:offsets[v+1]]
-	}
-	return adj
 }
 
 // firstPhase runs the epoch/stage/step schedule of Figure 7.

@@ -81,21 +81,29 @@ func BuildTreeItemsLayered(in *model.Instance, layered []*decomp.Layered) ([]Ite
 	dis := in.Expand()
 	items := make([]Item, 0, len(dis))
 	for i := range dis {
-		di := &dis[i]
-		group, critical := layered[di.Tree].AssignInstance(di)
-		items = append(items, Item{
-			ID:       di.ID,
-			Demand:   di.Demand,
-			Owner:    di.Demand, // each processor owns exactly one demand (§2)
-			Resource: di.Tree,
-			Group:    group,
-			Profit:   di.Profit,
-			Height:   di.Height,
-			Edges:    di.Path,
-			Critical: critical,
-		})
+		items = append(items, TreeItemFromInstance(layered, &dis[i]))
 	}
 	return items, nil
+}
+
+// TreeItemFromInstance translates one demand instance into a framework item
+// under the per-tree layered decompositions (layered[di.Tree] applies).
+// BuildTreeItemsLayered and the root package's incremental Session both
+// build items through it, so an arriving demand yields exactly the item a
+// from-scratch build would.
+func TreeItemFromInstance(layered []*decomp.Layered, di *model.DemandInstance) Item {
+	group, critical := layered[di.Tree].AssignInstance(di)
+	return Item{
+		ID:       di.ID,
+		Demand:   di.Demand,
+		Owner:    di.Demand, // each processor owns exactly one demand (§2)
+		Resource: di.Tree,
+		Group:    group,
+		Profit:   di.Profit,
+		Height:   di.Height,
+		Edges:    di.Path,
+		Critical: critical,
+	}
 }
 
 // BuildLineItems expands a line-network instance (with windows) into

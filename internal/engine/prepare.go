@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"slices"
 	"sync"
 
 	"treesched/internal/dual"
@@ -14,35 +15,49 @@ import (
 // Prepared values keyed by instance content, so the steady state of a
 // scheduling service re-solving a fixed network set skips conflict
 // construction and interning entirely and goes straight into the schedule.
+// For churning workloads — demands arriving and departing on an unchanged
+// network — Prepared.Apply (delta.go) updates the same state incrementally.
 
 // layout is the dense dual addressing of one item set: a frozen dual.Index
 // plus per-item views and per-owner stream bookkeeping. Built once; strictly
 // read-only during runs, so any number of concurrent runs may share it.
+// Prepared.Apply extends it in place between runs: removed items leave their
+// interned slots behind (stale slots hold zero and are never referenced by a
+// view, so they cannot affect results), and added items intern at the end.
 type layout struct {
 	ix        *dual.Index
 	views     []ItemView // dense view per item, aligned with items
 	ownerID   []int      // owner slot -> external owner id (stream seeding)
 	ownerSlot []int32    // item -> owner slot
+	owners    map[int]int32
 }
 
 // buildLayout interns every item of the set into a fresh index.
 func buildLayout(items []Item) *layout {
-	lay := &layout{ix: dual.NewIndex()}
-	lay.views = make([]ItemView, len(items))
-	ownerSlots := make(map[int]int32)
-	lay.ownerSlot = make([]int32, len(items))
+	lay := &layout{
+		ix:        dual.NewIndexSized(len(items)),
+		owners:    make(map[int]int32, len(items)),
+		views:     make([]ItemView, len(items)),
+		ownerSlot: make([]int32, len(items)),
+	}
 	for i := range items {
 		it := &items[i]
 		lay.views[i] = internItem(lay.ix, it)
-		s, ok := ownerSlots[it.Owner]
-		if !ok {
-			s = int32(len(lay.ownerID))
-			ownerSlots[it.Owner] = s
-			lay.ownerID = append(lay.ownerID, it.Owner)
-		}
-		lay.ownerSlot[i] = s
+		lay.ownerSlot[i] = lay.internOwner(it.Owner)
 	}
 	return lay
+}
+
+// internOwner returns the stream slot of an external owner id, interning it
+// when new.
+func (lay *layout) internOwner(owner int) int32 {
+	s, ok := lay.owners[owner]
+	if !ok {
+		s = int32(len(lay.ownerID))
+		lay.owners[owner] = s
+		lay.ownerID = append(lay.ownerID, owner)
+	}
+	return s
 }
 
 // newCore returns a fresh per-run core over the layout's frozen index.
@@ -51,19 +66,30 @@ func (lay *layout) newCore(mode Mode) *Core {
 }
 
 // Prepared is an item set with its Config-independent run state: dense
-// layout, conflict adjacency, and (lazily) the connected components and
-// per-shard relabelings of the sharded pipeline. A Prepared is immutable
-// after construction apart from the lazily-built shard structures (guarded
-// by a sync.Once), so it is safe for concurrent Run/RunParallel calls —
-// the property the root Solver's cross-solve cache relies on.
+// layout, dense group member lists, conflict adjacency, and (lazily) the
+// connected components and per-shard relabelings of the sharded pipeline.
+// A Prepared is immutable during runs apart from the lazily-built shard
+// structures (guarded by shardMu), so it is safe for concurrent
+// Run/RunParallel calls — the property the root Solver's cross-solve cache
+// relies on. Apply (delta.go) mutates the state between runs; it must never
+// overlap a run or another Apply on the same Prepared.
 type Prepared struct {
 	items []Item
 	lay   *layout
 	adj   [][]int
+	// demandMembers[s] / edgeMembers[e] list the item ids (ascending) whose
+	// demand interned to slot s / whose path contains edge index e — the
+	// grouping the adjacency is built from, retained so Apply can rebuild
+	// only the rows a delta touches.
+	demandMembers [][]int32
+	edgeMembers   [][]int32
 
-	shardOnce sync.Once
-	comps     [][]int
-	shards    []*preShard
+	shardMu     sync.Mutex
+	shardsBuilt bool
+	shardsStale bool   // an Apply ran since the last shard build
+	touched     []bool // items whose row/content/id changed since then
+	comps       [][]int
+	shards      []*preShard
 }
 
 // preShard is one conflict component relabeled to dense shard-local ids.
@@ -79,12 +105,19 @@ type preShard struct {
 func Prepare(items []Item) *Prepared { return PrepareWorkers(items, 1) }
 
 // PrepareWorkers is Prepare with the conflict adjacency built on a worker
-// pool of the given size (identical adjacency at any worker count).
+// pool of the given size (identical adjacency at any worker count). The
+// build is a single fused pass: the layout's interned demand slots and edge
+// indices double as the conflict grouping, so the items are traversed and
+// hashed exactly once.
 func PrepareWorkers(items []Item, workers int) *Prepared {
+	lay := buildLayout(items)
+	dm, em := buildMembers(lay.views, lay.ix.NumDemands(), lay.ix.NumEdges())
 	return &Prepared{
-		items: items,
-		lay:   buildLayout(items),
-		adj:   buildConflicts(items, workers),
+		items:         items,
+		lay:           lay,
+		adj:           conflictsFromMembers(len(items), lay.views, dm, em, workers),
+		demandMembers: dm,
+		edgeMembers:   em,
 	}
 }
 
@@ -104,35 +137,69 @@ func (p *Prepared) Run(cfg Config) (*Result, error) {
 	return p.runSerial(cfg, plan)
 }
 
-// ensureShards builds the component decomposition and per-shard relabelings
-// once. Components partition the id space, so one shared translation array
-// serves all shards.
+// ensureShards builds the component decomposition and per-shard relabelings,
+// reusing both across runs. After an Apply, the decomposition is refreshed
+// incrementally: components untouched by any delta since the last build —
+// same member ids, no member's row, content or id changed — keep their
+// relabeled shard (items, adjacency and shard-local layout) verbatim, and
+// only components the churn actually reached are relabeled again.
 func (p *Prepared) ensureShards() {
-	p.shardOnce.Do(func() {
-		p.comps = ConflictComponents(p.adj)
-		if len(p.comps) <= 1 {
-			return
+	p.shardMu.Lock()
+	defer p.shardMu.Unlock()
+	if p.shardsBuilt && !p.shardsStale {
+		return
+	}
+	comps := ConflictComponents(p.adj)
+	var reusable map[int]*preShard // previous shards by smallest member id
+	if p.shardsStale && len(p.shards) > 0 {
+		reusable = make(map[int]*preShard, len(p.shards))
+		for _, sh := range p.shards {
+			if len(sh.comp) > 0 {
+				reusable[sh.comp[0]] = sh
+			}
 		}
-		local := make([]int, len(p.items))
-		p.shards = make([]*preShard, len(p.comps))
-		for s, comp := range p.comps {
-			for i, id := range comp {
-				local[id] = i
-			}
-			sh := &preShard{comp: comp}
-			sh.items = make([]Item, len(comp))
-			sh.adj = make([][]int, len(comp))
-			for i, id := range comp {
-				sh.items[i] = p.items[id]
-				sh.items[i].ID = i
-				row := make([]int, len(p.adj[id]))
-				for j, w := range p.adj[id] {
-					row[j] = local[w]
-				}
-				sh.adj[i] = row
-			}
-			sh.lay = buildLayout(sh.items)
+	}
+	p.comps = comps
+	p.shards = nil
+	p.shardsBuilt = true
+	p.shardsStale = false
+	touched := p.touched
+	p.touched = nil
+	if len(comps) <= 1 {
+		return
+	}
+	local := make([]int, len(p.items))
+	p.shards = make([]*preShard, len(comps))
+	for s, comp := range comps {
+		if sh := reusable[comp[0]]; sh != nil && slices.Equal(sh.comp, comp) && !anyTouched(touched, comp) {
 			p.shards[s] = sh
+			continue
 		}
-	})
+		for i, id := range comp {
+			local[id] = i
+		}
+		sh := &preShard{comp: comp}
+		sh.items = make([]Item, len(comp))
+		sh.adj = make([][]int, len(comp))
+		for i, id := range comp {
+			sh.items[i] = p.items[id]
+			sh.items[i].ID = i
+			row := make([]int, len(p.adj[id]))
+			for j, w := range p.adj[id] {
+				row[j] = local[w]
+			}
+			sh.adj[i] = row
+		}
+		sh.lay = buildLayout(sh.items)
+		p.shards[s] = sh
+	}
+}
+
+func anyTouched(touched []bool, comp []int) bool {
+	for _, id := range comp {
+		if id < len(touched) && touched[id] {
+			return true
+		}
+	}
+	return false
 }

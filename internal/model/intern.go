@@ -13,8 +13,16 @@ type EdgeInterner struct {
 }
 
 // NewEdgeInterner returns an empty interner.
-func NewEdgeInterner() *EdgeInterner {
-	return &EdgeInterner{idx: make(map[EdgeKey]int32)}
+func NewEdgeInterner() *EdgeInterner { return NewEdgeInternerSized(0) }
+
+// NewEdgeInternerSized returns an empty interner with capacity hints for
+// roughly n keys, so interning a known-size key universe does not rehash its
+// way up from an empty table.
+func NewEdgeInternerSized(n int) *EdgeInterner {
+	if n < 0 {
+		n = 0
+	}
+	return &EdgeInterner{idx: make(map[EdgeKey]int32, n), keys: make([]EdgeKey, 0, n)}
 }
 
 // Intern returns the dense index of k, assigning the next free index when k

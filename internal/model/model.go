@@ -77,31 +77,44 @@ func (in *Instance) Validate() error {
 		if d.ID != i {
 			return fmt.Errorf("model: demand %d has ID %d", i, d.ID)
 		}
-		if d.U < 0 || d.U >= in.NumVertices || d.V < 0 || d.V >= in.NumVertices {
-			return fmt.Errorf("model: demand %d endpoints (%d,%d) out of range", i, d.U, d.V)
+		if err := ValidateDemand(d, in.NumVertices, len(in.Trees)); err != nil {
+			return err
 		}
-		if d.U == d.V {
-			return fmt.Errorf("model: demand %d has equal endpoints %d", i, d.U)
+	}
+	return nil
+}
+
+// ValidateDemand checks one demand's acceptance rules against a vertex and
+// network universe: endpoints in range and distinct, finite positive
+// profit, height in (0,1], and a non-empty duplicate-free accessibility set
+// of known networks. Instance.Validate applies it to every demand; the root
+// package's incremental Session applies it to arrivals, so the two paths
+// cannot drift.
+func ValidateDemand(d Demand, numVertices, numTrees int) error {
+	if d.U < 0 || d.U >= numVertices || d.V < 0 || d.V >= numVertices {
+		return fmt.Errorf("model: demand %d endpoints (%d,%d) out of range", d.ID, d.U, d.V)
+	}
+	if d.U == d.V {
+		return fmt.Errorf("model: demand %d has equal endpoints %d", d.ID, d.U)
+	}
+	if !(d.Profit > 0) || math.IsInf(d.Profit, 0) {
+		return fmt.Errorf("model: demand %d has invalid profit %v", d.ID, d.Profit)
+	}
+	if !(d.Height > 0) || d.Height > 1 {
+		return fmt.Errorf("model: demand %d has invalid height %v", d.ID, d.Height)
+	}
+	if len(d.Access) == 0 {
+		return fmt.Errorf("model: demand %d has no accessible networks", d.ID)
+	}
+	seen := map[TreeID]bool{}
+	for _, q := range d.Access {
+		if q < 0 || q >= numTrees {
+			return fmt.Errorf("model: demand %d accesses unknown network %d", d.ID, q)
 		}
-		if !(d.Profit > 0) || math.IsInf(d.Profit, 0) {
-			return fmt.Errorf("model: demand %d has invalid profit %v", i, d.Profit)
+		if seen[q] {
+			return fmt.Errorf("model: demand %d lists network %d twice", d.ID, q)
 		}
-		if !(d.Height > 0) || d.Height > 1 {
-			return fmt.Errorf("model: demand %d has invalid height %v", i, d.Height)
-		}
-		if len(d.Access) == 0 {
-			return fmt.Errorf("model: demand %d has no accessible networks", i)
-		}
-		seen := map[TreeID]bool{}
-		for _, q := range d.Access {
-			if q < 0 || q >= len(in.Trees) {
-				return fmt.Errorf("model: demand %d accesses unknown network %d", i, q)
-			}
-			if seen[q] {
-				return fmt.Errorf("model: demand %d lists network %d twice", i, q)
-			}
-			seen[q] = true
-		}
+		seen[q] = true
 	}
 	return nil
 }
@@ -149,24 +162,33 @@ type DemandInstance struct {
 func (in *Instance) Expand() []DemandInstance {
 	var out []DemandInstance
 	for _, d := range in.Demands {
-		for _, q := range d.Access {
-			t := in.Trees[q]
-			edges := t.PathEdges(d.U, d.V)
-			path := make([]EdgeKey, len(edges))
-			for j, e := range edges {
-				path[j] = MakeEdgeKey(q, e)
-			}
-			out = append(out, DemandInstance{
-				ID:     len(out),
-				Demand: d.ID,
-				Tree:   q,
-				U:      d.U,
-				V:      d.V,
-				Profit: d.Profit,
-				Height: d.Height,
-				Path:   path,
-			})
+		out = append(out, ExpandDemand(d, in.Trees, len(out))...)
+	}
+	return out
+}
+
+// ExpandDemand builds one demand's instances — one per accessible network,
+// in Access order, with ids counting up from firstID. Instance.Expand and
+// the root package's incremental Session both construct instances through
+// it, so an arriving demand expands exactly as a from-scratch build would.
+func ExpandDemand(d Demand, trees []*graph.Tree, firstID InstanceID) []DemandInstance {
+	out := make([]DemandInstance, 0, len(d.Access))
+	for _, q := range d.Access {
+		edges := trees[q].PathEdges(d.U, d.V)
+		path := make([]EdgeKey, len(edges))
+		for j, e := range edges {
+			path[j] = MakeEdgeKey(q, e)
 		}
+		out = append(out, DemandInstance{
+			ID:     firstID + len(out),
+			Demand: d.ID,
+			Tree:   q,
+			U:      d.U,
+			V:      d.V,
+			Profit: d.Profit,
+			Height: d.Height,
+			Path:   path,
+		})
 	}
 	return out
 }

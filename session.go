@@ -1,0 +1,209 @@
+package treesched
+
+import (
+	"fmt"
+	"sync"
+
+	"treesched/internal/decomp"
+	"treesched/internal/engine"
+	"treesched/internal/graph"
+	"treesched/internal/model"
+)
+
+// Session is the incremental re-solve surface: a Solver pinned to one
+// evolving instance whose networks are fixed while demands arrive and
+// depart. Where Solver.Solve re-prepares (or cache-hits) a complete
+// instance, Session.Update applies the churn as an engine delta — only the
+// conflict rows, layout slots and shard components the arrivals and
+// departures actually touch are rebuilt — and Session.Solve runs the
+// pipeline over the incrementally maintained state. Solve results are
+// bitwise identical to preparing the session's current item set from
+// scratch (the engine's incremental-state suite asserts this), so
+// incrementality changes how fast the answer arrives, never the answer.
+//
+// Sessions cover the in-process unit-height pipeline: Options.Algorithm
+// must be DistributedUnit, or Auto with every demand at height 1 (Auto
+// resolves by heights, so a sub-unit arrival would silently switch
+// algorithms mid-session; pin DistributedUnit to schedule sub-unit heights
+// edge-disjointly). Simulate is not supported.
+//
+// A Session is safe for concurrent use, but callers that interleave Update
+// and Solve from multiple goroutines get an unspecified (valid) ordering.
+type Session struct {
+	solver  *Solver
+	mu      sync.Mutex
+	trees   []*graph.Tree
+	layered []*decomp.Layered
+	nv      int // vertex count
+	p       *engine.Prepared
+	live    map[int]bool // demand id -> currently present
+	next    int          // next demand id to assign
+	// arrived counts the items interned since the last full preparation.
+	// Departed demands leave stale interned slots behind (see delta.go), so
+	// a session churning forever would accrete layout state proportional to
+	// its history; once the accretion passes a multiple of the live set,
+	// Update re-prepares from the current items — amortized O(1) rebuilds
+	// per O(live) churn — and the session's footprint stays proportional to
+	// the live set, not the total churn.
+	arrived int
+}
+
+// NewDemand describes one arriving demand for Session.Update.
+type NewDemand struct {
+	U, V   int
+	Profit float64
+	// Height is the bandwidth requirement in (0, 1]; 0 means 1. Sub-unit
+	// heights require the session's Options.Algorithm to be DistributedUnit.
+	Height float64
+	// Access restricts the demand to the given networks; empty means all.
+	Access []int
+}
+
+// Churn is one round of demand departures and arrivals.
+type Churn struct {
+	Remove []int // demand ids: the instance's original ids or Update's returns
+	Add    []NewDemand
+}
+
+// Session pins the solver to the given instance for incremental re-solving.
+// The instance is prepared once (through the solver's decomposition cache);
+// subsequent Update calls mutate the session's private prepared state and
+// never touch the solver's cross-solve caches.
+func (s *Solver) Session(in *Instance) (*Session, error) {
+	if s.opts.Simulate {
+		return nil, fmt.Errorf("treesched: sessions do not support Simulate")
+	}
+	m, err := in.build()
+	if err != nil {
+		return nil, err
+	}
+	switch s.opts.Algorithm {
+	case DistributedUnit:
+	case Auto:
+		for _, d := range m.Demands {
+			if d.Height < 1 {
+				return nil, fmt.Errorf("treesched: Auto sessions need unit heights; demand %d has height %v (pin DistributedUnit)", d.ID, d.Height)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("treesched: sessions support DistributedUnit or unit-height Auto, not %v", s.opts.Algorithm)
+	}
+	layered, err := s.layeredFor(m)
+	if err != nil {
+		return nil, err
+	}
+	items, err := engine.BuildTreeItemsLayered(m, layered)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		solver:  s,
+		trees:   m.Trees,
+		layered: layered,
+		nv:      m.NumVertices,
+		p:       engine.PrepareWorkers(items, s.opts.Parallelism),
+		live:    make(map[int]bool, len(m.Demands)),
+		next:    len(m.Demands),
+	}
+	for _, d := range m.Demands {
+		sess.live[d.ID] = true
+	}
+	return sess, nil
+}
+
+// Demands reports how many demands are currently live in the session.
+func (sess *Session) Demands() int {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return len(sess.live)
+}
+
+// Update applies one round of churn and returns the demand ids assigned to
+// the arrivals (aligned with c.Add). On error the session is unchanged.
+func (sess *Session) Update(c Churn) ([]int, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	removing := make(map[int]bool, len(c.Remove))
+	for _, id := range c.Remove {
+		if !sess.live[id] {
+			return nil, fmt.Errorf("treesched: session has no live demand %d", id)
+		}
+		if removing[id] {
+			return nil, fmt.Errorf("treesched: demand %d removed twice", id)
+		}
+		removing[id] = true
+	}
+
+	opts := sess.solver.opts
+	var add []engine.Item
+	ids := make([]int, 0, len(c.Add))
+	for i, nd := range c.Add {
+		h := nd.Height
+		if h == 0 {
+			h = 1
+		}
+		access := nd.Access
+		if len(access) == 0 {
+			access = allTrees(len(sess.trees))
+		}
+		id := sess.next + len(ids)
+		// The acceptance rules are the model's own, so an arrival a
+		// from-scratch Instance build would reject is rejected here too.
+		d := model.Demand{ID: id, U: nd.U, V: nd.V, Profit: nd.Profit, Height: h, Access: access}
+		if err := model.ValidateDemand(d, sess.nv, len(sess.trees)); err != nil {
+			return nil, fmt.Errorf("treesched: arrival %d: %w", i, err)
+		}
+		if h < 1 && opts.Algorithm != DistributedUnit {
+			return nil, fmt.Errorf("treesched: arrival %d has height %v; Auto sessions need unit heights (pin DistributedUnit)", i, nd.Height)
+		}
+		ids = append(ids, id)
+		// Expansion and item construction go through the same helpers as a
+		// from-scratch build (Instance.Expand + BuildTreeItemsLayered), so
+		// the incremental path cannot drift from it. Apply assigns the item
+		// ids.
+		for _, di := range model.ExpandDemand(d, sess.trees, 0) {
+			add = append(add, engine.TreeItemFromInstance(sess.layered, &di))
+		}
+	}
+
+	// Departures: every item (one per accessible network) of each removed
+	// demand, located by one scan of the current set.
+	var remove []int
+	if len(removing) > 0 {
+		items := sess.p.Items()
+		for i := range items {
+			if removing[items[i].Demand] {
+				remove = append(remove, i)
+			}
+		}
+	}
+
+	if err := sess.p.Apply(engine.Delta{Remove: remove, Add: add}); err != nil {
+		return nil, err
+	}
+	for id := range removing {
+		delete(sess.live, id)
+	}
+	for _, id := range ids {
+		sess.live[id] = true
+	}
+	sess.next += len(ids)
+	sess.arrived += len(add)
+	if sess.arrived > 2*len(sess.p.Items())+64 {
+		// Compact the accreted stale layout state: re-prepare over the
+		// current (already densely-indexed) items. Solve results are
+		// unaffected — they are a pure function of the item slice.
+		sess.p = engine.PrepareWorkers(sess.p.Items(), sess.solver.opts.Parallelism)
+		sess.arrived = 0
+	}
+	return ids, nil
+}
+
+// Solve runs the unit-height pipeline over the session's current demand
+// set. Assignments report the session's demand ids.
+func (sess *Session) Solve() (*Result, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.solver.unitResultFromPrepared(sess.p)
+}

@@ -1,0 +1,316 @@
+package treesched_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	treesched "treesched"
+	"treesched/internal/engine"
+	"treesched/internal/workload"
+)
+
+// buildInstance converts a generated model instance into the public builder.
+func buildInstance(t testing.TB, cfg workload.TreeConfig, seed int64) *treesched.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := treesched.NewInstance(cfg.Vertices)
+	for _, tr := range in.Trees {
+		edges := make([][2]int, 0, tr.N()-1)
+		for _, e := range tr.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		if _, err := inst.AddTree(edges); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range in.Demands {
+		inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...), treesched.Height(d.Height))
+	}
+	return inst
+}
+
+// TestSessionMatchesScratchSolve churns a session and asserts after every
+// round that its solve matches an engine run prepared from scratch over the
+// session's own item set would — indirectly, by checking determinism of
+// repeated session solves and feasibility of the assignments (the engine's
+// incremental-state suite asserts bitwise scratch equality directly).
+func TestSessionMatchesScratchSolve(t *testing.T) {
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 3, Parallelism: 2})
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 32, Trees: 2, Demands: 24, ProfitRatio: 8,
+	}, 5)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	liveIDs := make([]int, 24)
+	for i := range liveIDs {
+		liveIDs[i] = i
+	}
+	for round := 0; round < 5; round++ {
+		// Depart ~1/4 of the live demands, arrive a similar number.
+		var c treesched.Churn
+		var kept []int
+		for _, id := range liveIDs {
+			if rng.Intn(4) == 0 {
+				c.Remove = append(c.Remove, id)
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		for i := 0; i < len(c.Remove)+rng.Intn(3); i++ {
+			u, v := rng.Intn(32), rng.Intn(32)
+			if u == v {
+				v = (v + 1) % 32
+			}
+			c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*7})
+		}
+		ids, err := sess.Update(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(c.Add) {
+			t.Fatalf("round %d: %d ids for %d arrivals", round, len(ids), len(c.Add))
+		}
+		liveIDs = append(kept, ids...)
+		if sess.Demands() != len(liveIDs) {
+			t.Fatalf("round %d: session has %d demands, want %d", round, sess.Demands(), len(liveIDs))
+		}
+
+		res1, err := sess.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := sess.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res1.Profit != res2.Profit || len(res1.Assignments) != len(res2.Assignments) {
+			t.Fatalf("round %d: repeated session solves diverged", round)
+		}
+		if res1.DualBound < res1.Profit-1e-9 {
+			t.Fatalf("round %d: profit %v exceeds dual bound %v", round, res1.Profit, res1.DualBound)
+		}
+		// Every assignment names a live demand, at most once.
+		seen := make(map[int]bool)
+		for _, a := range res1.Assignments {
+			if !slices.Contains(liveIDs, a.Demand) {
+				t.Fatalf("round %d: assignment for departed/unknown demand %d", round, a.Demand)
+			}
+			if seen[a.Demand] {
+				t.Fatalf("round %d: demand %d assigned twice", round, a.Demand)
+			}
+			seen[a.Demand] = true
+		}
+	}
+}
+
+// TestSessionEligibility pins the supported configurations.
+func TestSessionEligibility(t *testing.T) {
+	inst := func() *treesched.Instance {
+		in := treesched.NewInstance(4)
+		if _, err := in.AddTree([][2]int{{0, 1}, {1, 2}, {2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+		in.AddDemand(0, 2, 3)
+		return in
+	}
+	if _, err := treesched.NewSolver(treesched.Options{Simulate: true}).Session(inst()); err == nil {
+		t.Fatal("Simulate session accepted")
+	}
+	if _, err := treesched.NewSolver(treesched.Options{Algorithm: treesched.SequentialTree}).Session(inst()); err == nil {
+		t.Fatal("SequentialTree session accepted")
+	}
+	sub := inst()
+	sub.AddDemand(1, 3, 2, treesched.Height(0.4))
+	if _, err := treesched.NewSolver(treesched.Options{}).Session(sub); err == nil {
+		t.Fatal("Auto session with sub-unit heights accepted")
+	}
+	if _, err := treesched.NewSolver(treesched.Options{Algorithm: treesched.DistributedUnit}).Session(sub); err != nil {
+		t.Fatalf("DistributedUnit session rejected sub-unit heights: %v", err)
+	}
+	sess, err := treesched.NewSolver(treesched.Options{}).Session(inst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Update(treesched.Churn{Add: []treesched.NewDemand{{U: 0, V: 3, Profit: 1, Height: 0.3}}}); err == nil {
+		t.Fatal("Auto session accepted a sub-unit arrival")
+	}
+	if _, err := sess.Update(treesched.Churn{Remove: []int{7}}); err == nil {
+		t.Fatal("removal of unknown demand accepted")
+	}
+	if _, err := sess.Update(treesched.Churn{Add: []treesched.NewDemand{{U: 0, V: 0, Profit: 1}}}); err == nil {
+		t.Fatal("equal endpoints accepted")
+	}
+	// A failed update leaves the session usable.
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionLongChurnCompacts drives enough churn through a small session
+// to cross the stale-layout compaction threshold several times; solves must
+// stay bitwise equal to a scratch engine run over the session's items
+// across every rebuild boundary.
+func TestSessionLongChurnCompacts(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 8}
+	s := treesched.NewSolver(opts)
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 16, Trees: 2, Demands: 10, ProfitRatio: 4,
+	}, 17)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	live := make([]int, 10)
+	for i := range live {
+		live[i] = i
+	}
+	for round := 0; round < 40; round++ {
+		c := treesched.Churn{Remove: live[:4]}
+		for i := 0; i < 4; i++ {
+			u, v := rng.Intn(16), rng.Intn(16)
+			if u == v {
+				v = (v + 1) % 16
+			}
+			c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*3})
+		}
+		ids, err := sess.Update(c)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		live = append(live[4:], ids...)
+
+		got, err := sess.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := treesched.SessionItems(sess)
+		eres, err := engine.Run(items, engine.Config{Mode: engine.Unit, Epsilon: opts.Epsilon, Seed: opts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Profit != eres.Profit || got.DualBound != eres.Bound {
+			t.Fatalf("round %d: session (%v,%v), scratch (%v,%v)", round, got.Profit, got.DualBound, eres.Profit, eres.Bound)
+		}
+	}
+	if sess.Demands() != 10 {
+		t.Fatalf("live set drifted to %d", sess.Demands())
+	}
+}
+
+// TestSolverArbitraryPreparedCache checks the DistributedArbitrary fast
+// path: cached re-solves return exactly the uncached (package-level Solve)
+// result, and the cache is actually populated.
+func TestSolverArbitraryPreparedCache(t *testing.T) {
+	cfg := workload.TreeConfig{
+		Vertices: 24, Trees: 2, Demands: 18, ProfitRatio: 8,
+		Heights: workload.MixedHeights, HMin: 0.1,
+	}
+	for _, algo := range []treesched.Algorithm{treesched.Auto, treesched.DistributedArbitrary} {
+		opts := treesched.Options{Algorithm: algo, Epsilon: 0.15, Seed: 2, Parallelism: 2}
+		s := treesched.NewSolver(opts)
+		inst := buildInstance(t, cfg, 21)
+		want, err := treesched.Solve(buildInstance(t, cfg, 21), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			got, err := s.Solve(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Profit != want.Profit || got.DualBound != want.DualBound || got.Guarantee != want.Guarantee {
+				t.Fatalf("%v trial %d: (%v,%v,%v), want (%v,%v,%v)", algo, trial,
+					got.Profit, got.DualBound, got.Guarantee, want.Profit, want.DualBound, want.Guarantee)
+			}
+			if !slices.Equal(got.Assignments, want.Assignments) {
+				t.Fatalf("%v trial %d: assignments diverged", algo, trial)
+			}
+		}
+		if got := s.CachedArbitrary(); got != 1 {
+			t.Fatalf("%v: CachedArbitrary = %d, want 1", algo, got)
+		}
+		if got := s.CachedPrepared(); got != 0 {
+			t.Fatalf("%v: CachedPrepared = %d, want 0 (unit cache untouched)", algo, got)
+		}
+	}
+}
+
+// TestSessionMatchesEngineScratch asserts the strongest session property:
+// the session's solve is bitwise identical to running the engine over its
+// current items prepared from scratch.
+func TestSessionMatchesEngineScratch(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 6, Parallelism: 3}
+	s := treesched.NewSolver(opts)
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 28, Trees: 3, Demands: 20, ProfitRatio: 8,
+	}, 31)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	live := make([]int, 20)
+	for i := range live {
+		live[i] = i
+	}
+	for round := 0; round < 4; round++ {
+		var c treesched.Churn
+		var kept []int
+		for _, id := range live {
+			if rng.Intn(5) == 0 {
+				c.Remove = append(c.Remove, id)
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			u, v := rng.Intn(28), rng.Intn(28)
+			if u == v {
+				v = (v + 1) % 28
+			}
+			c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*3})
+		}
+		ids, err := sess.Update(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(kept, ids...)
+
+		got, err := sess.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scratch engine run over the session's own items.
+		items := treesched.SessionItems(sess)
+		for i := range items {
+			items[i].ID = i
+		}
+		eres, err := engine.RunParallel(items, engine.Config{
+			Mode: engine.Unit, Epsilon: opts.Epsilon, Seed: opts.Seed,
+		}, opts.Parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Profit != eres.Profit || got.DualBound != eres.Bound {
+			t.Fatalf("round %d: session (%v,%v), scratch engine (%v,%v)",
+				round, got.Profit, got.DualBound, eres.Profit, eres.Bound)
+		}
+		if len(got.Assignments) != len(eres.Selected) {
+			t.Fatalf("round %d: %d assignments, scratch selected %d", round, len(got.Assignments), len(eres.Selected))
+		}
+		for i, id := range eres.Selected {
+			if got.Assignments[i].Demand != items[id].Demand || got.Assignments[i].Network != items[id].Resource {
+				t.Fatalf("round %d: assignment %d diverged", round, i)
+			}
+		}
+	}
+}

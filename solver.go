@@ -23,31 +23,37 @@ import (
 //     decomposition), keyed by the complete instance content, so repeated
 //     solves on the same item set skip item building, interning AND
 //     conflict construction entirely and go straight into the sharded
-//     parallel pipeline (Options.Parallelism).
+//     parallel pipeline (Options.Parallelism);
+//   - arbitrary-height preparations (engine.ArbitraryPrepared: the §6
+//     wide/narrow split with each height class prepared), keyed the same
+//     way, so DistributedArbitrary re-solves skip conflict construction for
+//     both classes too.
 //
 // Repeated solves over identical instances — the steady state of a
 // scheduling service re-solving as schedules are re-evaluated — therefore
-// cost only the schedule itself.
+// cost only the schedule itself. For churning demand sets on fixed
+// networks, Session offers the incremental path: Update applies demand
+// arrivals/departures as an engine delta instead of re-preparing.
 //
 // A Solver is safe for concurrent use; each Solve call runs independently
-// and only the caches are shared (a cached engine.Prepared is immutable and
+// and only the caches are shared (a cached preparation is immutable and
 // supports concurrent runs). Each cache holds a bounded number of entries
-// and resets wholesale when full, so a long-lived Solver fed an unbounded
-// stream of one-off instances stays bounded while the steady state — a
-// fixed instance set re-solved forever — never evicts.
+// with LRU eviction — overflow drops only the least-recently used entry, so
+// hot steady-state keys survive any burst of one-off instances.
 type Solver struct {
 	opts Options
 
-	mu       sync.Mutex
-	layouts  map[string]*decomp.Layered
-	prepared map[string]*engine.Prepared
+	mu        sync.Mutex
+	layouts   *lru[*decomp.Layered]
+	prepared  *lru[*engine.Prepared]
+	arbitrary *lru[*engine.ArbitraryPrepared]
 }
 
 // maxCachedLayouts bounds the Solver's decomposition cache (distinct
 // network structures, each O(vertices) to hold).
 const maxCachedLayouts = 1024
 
-// maxCachedPrepared bounds the Solver's prepared-instance cache. Prepared
+// maxCachedPrepared bounds the Solver's prepared-instance caches. Prepared
 // entries carry the conflict adjacency (quadratic in the worst case), so
 // the bound is tighter than the decomposition cache's.
 const maxCachedPrepared = 128
@@ -57,9 +63,10 @@ const maxCachedPrepared = 128
 func NewSolver(opts Options) *Solver {
 	opts.normalize()
 	return &Solver{
-		opts:     opts,
-		layouts:  make(map[string]*decomp.Layered),
-		prepared: make(map[string]*engine.Prepared),
+		opts:      opts,
+		layouts:   newLRU[*decomp.Layered](maxCachedLayouts),
+		prepared:  newLRU[*engine.Prepared](maxCachedPrepared),
+		arbitrary: newLRU[*engine.ArbitraryPrepared](maxCachedPrepared),
 	}
 }
 
@@ -70,14 +77,23 @@ func (s *Solver) Options() Options { return s.opts }
 func (s *Solver) CachedLayouts() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.layouts)
+	return s.layouts.len()
 }
 
-// CachedPrepared reports how many prepared instances are cached.
+// CachedPrepared reports how many prepared unit-pipeline instances are
+// cached.
 func (s *Solver) CachedPrepared() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.prepared)
+	return s.prepared.len()
+}
+
+// CachedArbitrary reports how many prepared arbitrary-height instances are
+// cached.
+func (s *Solver) CachedArbitrary() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arbitrary.len()
 }
 
 // Solve runs the configured algorithm on a tree-network instance, reusing
@@ -93,41 +109,121 @@ func (s *Solver) Solve(in *Instance) (*Result, error) {
 	if s.opts.Algorithm == SequentialTree {
 		return solveSequential(m)
 	}
-	// The prepared fast path covers the pipeline solve of the unit-height
-	// framework (Auto resolving to DistributedUnit, no Simulate): the cached
-	// engine.Prepared replaces item building and conflict construction. The
-	// other algorithms either split the item set (arbitrary heights), run a
-	// different engine (exact), or measure communication (Simulate), and
-	// take the uncached path below — still with cached decompositions.
-	if s.preparedEligible(m) {
-		p, err := s.prepare(m)
-		if err != nil {
-			return nil, err
+	// The prepared fast paths cover the in-process pipeline solves (no
+	// Simulate): the cached engine.Prepared / engine.ArbitraryPrepared
+	// replaces item building and conflict construction. The other
+	// algorithms either run a different engine (exact) or measure
+	// communication (Simulate), and take the uncached path below — still
+	// with cached decompositions.
+	if !s.opts.Simulate {
+		switch s.resolveFast(m) {
+		case DistributedUnit:
+			p, err := s.prepare(m)
+			if err != nil {
+				return nil, err
+			}
+			return s.unitResultFromPrepared(p)
+		case DistributedArbitrary:
+			ap, err := s.prepareArbitrary(m)
+			if err != nil {
+				return nil, err
+			}
+			return s.arbitraryResultFromPrepared(ap)
 		}
-		res, err := p.RunParallel(engine.Config{
-			Mode:        engine.Unit,
-			Epsilon:     s.opts.Epsilon,
-			Seed:        s.opts.Seed,
-			SingleStage: s.opts.SingleStage,
-		}, s.opts.Parallelism)
-		if err != nil {
-			return nil, err
-		}
-		items := p.Items()
-		out := &Result{
-			Profit:    res.Profit,
-			DualBound: res.Bound,
-			Guarantee: float64(res.Delta+1) * s.opts.slackFactor(),
-		}
-		for _, id := range res.Selected {
-			out.Assignments = append(out.Assignments, Assignment{
-				Demand:  items[id].Demand,
-				Network: items[id].Resource,
-			})
-		}
-		return out, nil
 	}
 
+	items, err := s.buildItems(m)
+	if err != nil {
+		return nil, err
+	}
+	return solveTreeItems(m, items, s.opts)
+}
+
+// resolveFast resolves Auto against the instance's heights and reports
+// which prepared fast path applies (0 when none does).
+func (s *Solver) resolveFast(m *model.Instance) Algorithm {
+	switch s.opts.Algorithm {
+	case DistributedUnit, DistributedArbitrary:
+		return s.opts.Algorithm
+	case Auto:
+		for _, d := range m.Demands {
+			if d.Height < 1 {
+				return DistributedArbitrary
+			}
+		}
+		return DistributedUnit
+	default:
+		return 0
+	}
+}
+
+// unitResultFromPrepared runs the unit-height pipeline over prepared state
+// and assembles the public Result. Shared by the Solve fast path and
+// Session.Solve.
+func (s *Solver) unitResultFromPrepared(p *engine.Prepared) (*Result, error) {
+	res, err := p.RunParallel(engine.Config{
+		Mode:        engine.Unit,
+		Epsilon:     s.opts.Epsilon,
+		Seed:        s.opts.Seed,
+		SingleStage: s.opts.SingleStage,
+	}, s.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	items := p.Items()
+	out := &Result{
+		Profit:    res.Profit,
+		DualBound: res.Bound,
+		Guarantee: float64(res.Delta+1) * s.opts.slackFactor(),
+	}
+	for _, id := range res.Selected {
+		out.Assignments = append(out.Assignments, Assignment{
+			Demand:  items[id].Demand,
+			Network: items[id].Resource,
+		})
+	}
+	return out, nil
+}
+
+// arbitraryResultFromPrepared runs the §6 wide/narrow combination over
+// prepared state and assembles the public Result.
+func (s *Solver) arbitraryResultFromPrepared(ap *engine.ArbitraryPrepared) (*Result, error) {
+	res, err := ap.RunParallel(engine.Config{
+		Epsilon:     s.opts.Epsilon,
+		Seed:        s.opts.Seed,
+		SingleStage: s.opts.SingleStage,
+	}, s.opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	delta := ap.MaxCritical()
+	items := ap.Items()
+	out := &Result{
+		Profit:    res.Profit,
+		DualBound: res.Bound,
+		Guarantee: float64((delta+1)+(2*delta*delta+1)) * s.opts.slackFactor(),
+	}
+	for _, id := range res.Selected {
+		out.Assignments = append(out.Assignments, Assignment{
+			Demand:  items[id].Demand,
+			Network: items[id].Resource,
+		})
+	}
+	return out, nil
+}
+
+// buildItems expands the instance into framework items over cached per-tree
+// decompositions.
+func (s *Solver) buildItems(m *model.Instance) ([]engine.Item, error) {
+	layered, err := s.layeredFor(m)
+	if err != nil {
+		return nil, err
+	}
+	return engine.BuildTreeItemsLayered(m, layered)
+}
+
+// layeredFor returns the cached layered decomposition of every tree.
+func (s *Solver) layeredFor(m *model.Instance) ([]*decomp.Layered, error) {
 	layered := make([]*decomp.Layered, len(m.Trees))
 	for q, t := range m.Trees {
 		l, err := s.layout(t)
@@ -136,32 +232,7 @@ func (s *Solver) Solve(in *Instance) (*Result, error) {
 		}
 		layered[q] = l
 	}
-	items, err := engine.BuildTreeItemsLayered(m, layered)
-	if err != nil {
-		return nil, err
-	}
-	return solveTreeItems(m, items, s.opts)
-}
-
-// preparedEligible reports whether the solve resolves to the in-process
-// unit-height pipeline, the path the prepared cache accelerates.
-func (s *Solver) preparedEligible(m *model.Instance) bool {
-	if s.opts.Simulate {
-		return false
-	}
-	switch s.opts.Algorithm {
-	case DistributedUnit:
-		return true
-	case Auto:
-		for _, d := range m.Demands {
-			if d.Height < 1 {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
-	}
+	return layered, nil
 }
 
 // prepare returns the instance's prepared item set, building (and caching)
@@ -170,31 +241,40 @@ func (s *Solver) preparedEligible(m *model.Instance) bool {
 func (s *Solver) prepare(m *model.Instance) (*engine.Prepared, error) {
 	key := instanceSignature(m, s.opts.Decomposition)
 	s.mu.Lock()
-	p, ok := s.prepared[key]
+	p, ok := s.prepared.get(key)
 	s.mu.Unlock()
 	if ok {
 		return p, nil
 	}
-	layered := make([]*decomp.Layered, len(m.Trees))
-	for q, t := range m.Trees {
-		l, err := s.layout(t)
-		if err != nil {
-			return nil, err
-		}
-		layered[q] = l
-	}
-	items, err := engine.BuildTreeItemsLayered(m, layered)
+	items, err := s.buildItems(m)
 	if err != nil {
 		return nil, err
 	}
 	p = engine.PrepareWorkers(items, s.opts.Parallelism)
 	s.mu.Lock()
-	if len(s.prepared) >= maxCachedPrepared {
-		s.prepared = make(map[string]*engine.Prepared)
-	}
-	s.prepared[key] = p
+	s.prepared.put(key, p)
 	s.mu.Unlock()
 	return p, nil
+}
+
+// prepareArbitrary is prepare for the §6 wide/narrow pipeline.
+func (s *Solver) prepareArbitrary(m *model.Instance) (*engine.ArbitraryPrepared, error) {
+	key := instanceSignature(m, s.opts.Decomposition)
+	s.mu.Lock()
+	ap, ok := s.arbitrary.get(key)
+	s.mu.Unlock()
+	if ok {
+		return ap, nil
+	}
+	items, err := s.buildItems(m)
+	if err != nil {
+		return nil, err
+	}
+	ap = engine.PrepareArbitraryWorkers(items, s.opts.Parallelism)
+	s.mu.Lock()
+	s.arbitrary.put(key, ap)
+	s.mu.Unlock()
+	return ap, nil
 }
 
 // layout returns the layered decomposition of t under the solver's
@@ -203,7 +283,7 @@ func (s *Solver) prepare(m *model.Instance) (*engine.Prepared, error) {
 func (s *Solver) layout(t *graph.Tree) (*decomp.Layered, error) {
 	key := treeSignature(t, s.opts.Decomposition)
 	s.mu.Lock()
-	l, ok := s.layouts[key]
+	l, ok := s.layouts.get(key)
 	s.mu.Unlock()
 	if ok {
 		return l, nil
@@ -213,10 +293,7 @@ func (s *Solver) layout(t *graph.Tree) (*decomp.Layered, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	if len(s.layouts) >= maxCachedLayouts {
-		s.layouts = make(map[string]*decomp.Layered)
-	}
-	s.layouts[key] = l
+	s.layouts.put(key, l)
 	s.mu.Unlock()
 	return l, nil
 }
@@ -245,7 +322,7 @@ func treeSignature(t *graph.Tree, kind engine.DecompKind) string {
 // profit and height bits, and accessibility list. Items (and hence the
 // conflict graph, the dense layout, and every solve over them) are a pure
 // function of this content, so equal signatures may safely share one
-// engine.Prepared.
+// prepared value.
 func instanceSignature(m *model.Instance, kind engine.DecompKind) string {
 	var b strings.Builder
 	for _, t := range m.Trees {
