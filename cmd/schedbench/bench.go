@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	treesched "treesched"
 	"treesched/internal/engine"
+	"treesched/internal/serve"
 	"treesched/internal/workload"
 )
 
@@ -53,6 +55,11 @@ type BenchResult struct {
 	ItemsPerSec     float64 `json:"items_per_sec"`
 	SerialNsPerOp   int64   `json:"serial_ns_per_op"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// CoalescedBatch is the mean number of submissions absorbed per solve
+	// round (serve scenarios only; 0 elsewhere). The field is additive to
+	// the v1 schema: older readers ignore it, -compare keys on
+	// (name, parallelism, ns_per_op) either way.
+	CoalescedBatch float64 `json:"coalesced_batch,omitempty"`
 }
 
 // benchScenario is a workload shape swept by the bench run.
@@ -200,6 +207,38 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 			})
 		}
 	}
+	// The serve scenario: the online service shape over the same contended
+	// m=768 instance — an in-process session actor absorbing churn from
+	// serveSubmitters concurrent submitters, one coalesced delta+solve per
+	// round. ns_per_op is the mean round latency (the quantity a snapshot
+	// reader's staleness is bounded by) and coalesced_batch the mean
+	// submissions absorbed per round.
+	var serveSerialNs int64
+	for _, p := range []int{1, parallel} {
+		ns, rounds, batch, nItems, err := timeServe(workload.TreeConfig{
+			Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
+		}, seed, p)
+		if err != nil {
+			return fmt.Errorf("bench serve/m=768 p=%d: %w", p, err)
+		}
+		if p == 1 {
+			serveSerialNs = ns
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:            "serve/m=768",
+			Items:           nItems,
+			Mode:            engine.Unit.String(),
+			Parallelism:     p,
+			Iters:           rounds,
+			NsPerOp:         ns,
+			SolvesPerSec:    1e9 / float64(ns),
+			ItemsPerSec:     float64(nItems) * 1e9 / float64(ns),
+			SerialNsPerOp:   serveSerialNs,
+			SpeedupVsSerial: float64(serveSerialNs) / float64(ns),
+			CoalescedBatch:  batch,
+		})
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -331,6 +370,98 @@ func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bo
 		}
 	}
 	return time.Since(start).Nanoseconds() / churnRounds, nItems, nil
+}
+
+// Serve scenario shape: serveSubmitters goroutines each blocking-submit
+// serveSubmitsPer churns of serveChurnSize departures+arrivals. Submitters
+// overlap the actor's rounds, so steady-state rounds coalesce multiple
+// submissions into one delta+solve.
+const (
+	serveSubmitters = 4
+	serveSubmitsPer = 24
+	serveChurnSize  = 8
+)
+
+// timeServe measures the online-serving workload: a standalone session
+// actor over a fixed instance, hammered by concurrent submitters. Each
+// submitter churns only demand ids it owns (its slice of the initial set
+// plus the replacements Submit assigned to it), so every coalesced batch is
+// valid. Returns the mean round latency (ns), the round count, the mean
+// coalesced batch size, and the initial demand count.
+func timeServe(cfg workload.TreeConfig, seed int64, parallelism int) (int64, int, float64, int, error) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	inst := treesched.NewInstance(cfg.Vertices)
+	for _, t := range in.Trees {
+		edges := make([][2]int, 0, t.N()-1)
+		for _, e := range t.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		if _, err := inst.AddTree(edges); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	for _, d := range in.Demands {
+		inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...))
+	}
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: seed, Parallelism: parallelism})
+	sess, err := s.Session(inst)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	actor, err := serve.NewActor("bench", sess)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	errs := make(chan error, serveSubmitters)
+	var wg sync.WaitGroup
+	for k := 0; k < serveSubmitters; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 100 + int64(k)))
+			var mine []int
+			for id := k; id < len(in.Demands); id += serveSubmitters {
+				mine = append(mine, id)
+			}
+			for r := 0; r < serveSubmitsPer; r++ {
+				n := serveChurnSize
+				if n > len(mine) {
+					n = len(mine)
+				}
+				c := treesched.Churn{Remove: mine[:n]}
+				for i := 0; i < n; i++ {
+					u, v := rng.Intn(cfg.Vertices), rng.Intn(cfg.Vertices)
+					if u == v {
+						v = (v + 1) % cfg.Vertices
+					}
+					c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*15})
+				}
+				ids, _, err := actor.Submit(c)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mine = append(mine[n:], ids...)
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, 0, 0, 0, err
+	}
+	st := actor.Stats()
+	if st.Rounds == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("serve bench ran no rounds")
+	}
+	ns := st.TotalLatency.Nanoseconds() / int64(st.Rounds)
+	batch := float64(st.Submissions) / float64(st.Rounds)
+	return ns, int(st.Rounds), batch, len(in.Demands), nil
 }
 
 // timeSolve measures the best-of-iters wall time of one engine solve.

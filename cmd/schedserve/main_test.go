@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"treesched/internal/serve"
+)
+
+// startTestServer serves the real mux over httptest.
+func startTestServer(t *testing.T) (*httptest.Server, *serve.Registry) {
+	t.Helper()
+	reg := serve.NewRegistry(2)
+	srv := httptest.NewServer(newMux(reg))
+	t.Cleanup(func() {
+		srv.Close()
+		reg.Close()
+	})
+	return srv, reg
+}
+
+func do(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestHTTPEndToEnd walks the whole API: create, churn, snapshot with an
+// advanced epoch, stats, metrics, list, delete.
+func TestHTTPEndToEnd(t *testing.T) {
+	srv, _ := startTestServer(t)
+
+	status, created := do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name":     "e2e",
+		"vertices": 6,
+		"trees":    [][][2]int{{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+		"demands": []map[string]any{
+			{"u": 0, "v": 2, "profit": 5},
+			{"u": 2, "v": 5, "profit": 3},
+		},
+		"options": map[string]any{"epsilon": 0.1, "seed": 7},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create: status %d (%v)", status, created)
+	}
+	if created["name"] != "e2e" || created["profit"].(float64) <= 0 {
+		t.Fatalf("create response %v", created)
+	}
+
+	status, snap := do(t, "GET", srv.URL+"/v1/instances/e2e/snapshot", nil)
+	if status != http.StatusOK || snap["epoch"].(float64) != 0 {
+		t.Fatalf("initial snapshot: status %d, %v", status, snap)
+	}
+
+	status, churned := do(t, "POST", srv.URL+"/v1/instances/e2e/churn", map[string]any{
+		"remove": []int{0},
+		"add":    []map[string]any{{"u": 1, "v": 4, "profit": 9}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("churn: status %d (%v)", status, churned)
+	}
+	ids := churned["ids"].([]any)
+	if len(ids) != 1 || ids[0].(float64) != 2 {
+		t.Fatalf("churn ids %v, want [2]", ids)
+	}
+	epoch := churned["epoch"].(float64)
+	if epoch < 1 {
+		t.Fatalf("churn epoch %v", epoch)
+	}
+
+	// The returned epoch is already published: the snapshot must be at it
+	// (or later) and reflect the churn.
+	status, snap = do(t, "GET", srv.URL+"/v1/instances/e2e/snapshot", nil)
+	if status != http.StatusOK || snap["epoch"].(float64) < epoch {
+		t.Fatalf("post-churn snapshot: status %d, %v", status, snap)
+	}
+	if snap["live"].(float64) != 2 {
+		t.Fatalf("live %v, want 2", snap["live"])
+	}
+	if snap["profit"].(float64) <= 0 {
+		t.Fatalf("profit %v", snap["profit"])
+	}
+	for _, a := range snap["accepted"].([]any) {
+		if a.(float64) == 0 {
+			t.Fatal("removed demand 0 still accepted")
+		}
+	}
+
+	status, stats := do(t, "GET", srv.URL+"/v1/instances/e2e/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	if stats["rounds"].(float64) != 1 || stats["submissions"].(float64) != 1 {
+		t.Fatalf("stats %v", stats)
+	}
+	sess := stats["session"].(map[string]any)
+	if sess["live"].(float64) != 2 || sess["updates"].(float64) != 1 {
+		t.Fatalf("session stats %v", sess)
+	}
+
+	status, list := do(t, "GET", srv.URL+"/v1/instances", nil)
+	if status != http.StatusOK || fmt.Sprint(list["instances"]) != "[e2e]" {
+		t.Fatalf("list: %v", list)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `schedserve_rounds_total{instance="e2e"} 1`) {
+		t.Fatalf("metrics missing rounds counter:\n%s", metrics)
+	}
+
+	if status, _ := do(t, "DELETE", srv.URL+"/v1/instances/e2e", nil); status != http.StatusOK {
+		t.Fatalf("delete: status %d", status)
+	}
+	if status, _ := do(t, "GET", srv.URL+"/v1/instances/e2e/snapshot", nil); status != http.StatusNotFound {
+		t.Fatalf("snapshot after delete: status %d", status)
+	}
+}
+
+// TestHTTPErrors pins the error statuses: bad bodies, invalid churn,
+// unknown instances, unsupported options.
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := startTestServer(t)
+
+	if status, _ := do(t, "GET", srv.URL+"/v1/instances/nope/snapshot", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown snapshot: %d", status)
+	}
+	if status, _ := do(t, "POST", srv.URL+"/v1/instances/nope/churn", map[string]any{}); status != http.StatusNotFound {
+		t.Fatalf("unknown churn: %d", status)
+	}
+
+	status, body := do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name": "bad", "vertices": 4, "trees": [][][2]int{{{0, 1}, {1, 2}, {2, 3}}},
+		"demands": []map[string]any{{"u": 0, "v": 2, "profit": 1}},
+		"options": map[string]any{"algorithm": "sequential-tree"},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unsupported algorithm: %d (%v)", status, body)
+	}
+
+	// Sub-unit heights under auto must reject at create time.
+	status, _ = do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name": "subunit", "vertices": 4, "trees": [][][2]int{{{0, 1}, {1, 2}, {2, 3}}},
+		"demands": []map[string]any{{"u": 0, "v": 2, "profit": 1, "height": 0.4}},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("auto sub-unit create: %d", status)
+	}
+	// ... and accept under distributed-unit.
+	status, _ = do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name": "subunit", "vertices": 4, "trees": [][][2]int{{{0, 1}, {1, 2}, {2, 3}}},
+		"demands": []map[string]any{{"u": 0, "v": 2, "profit": 1, "height": 0.4}},
+		"options": map[string]any{"algorithm": "distributed-unit"},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("distributed-unit sub-unit create: %d", status)
+	}
+
+	// Invalid churn rejects only that submission, with a 400.
+	status, body = do(t, "POST", srv.URL+"/v1/instances/subunit/churn", map[string]any{
+		"remove": []int{99},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid churn: %d (%v)", status, body)
+	}
+	// The instance remains usable.
+	if status, _ := do(t, "POST", srv.URL+"/v1/instances/subunit/churn", map[string]any{
+		"add": []map[string]any{{"u": 1, "v": 3, "profit": 2}},
+	}); status != http.StatusOK {
+		t.Fatalf("churn after failed churn: %d", status)
+	}
+}

@@ -126,6 +126,40 @@
 // demands changes most conflict rows, and the update's advantage narrows
 // to the constant-factor edit cost (~2x).
 //
+// Sessions are observable: Session.Stats reports the live set size, the
+// stale-slot accretion since the last full preparation, the compaction
+// re-prepare count, and the last delta's size — the counters an operator
+// watches to confirm a long-lived session's footprint stays proportional
+// to its live set. Update is atomic (a batch with one invalid arrival or
+// removal rejects as a whole, with no partial churn and no burned ids),
+// and Session.SolveWithItems returns the solve result together with a copy
+// of the item set it was computed from, captured under one lock
+// acquisition — the epoch-consistency primitive concurrent readers build
+// on.
+//
+// # The online serving layer: internal/serve and cmd/schedserve
+//
+// The production shape of the engine is the online service: demands arrive
+// at and depart from fixed networks and the system keeps publishing a
+// near-optimal feasible selection. internal/serve provides it as a
+// library; cmd/schedserve exposes it over HTTP/JSON.
+//
+// A session actor owns one Session and runs an admission loop: all churn
+// submitted since the last round — from any number of concurrent
+// submitters — coalesces into one batch, applied with a single
+// Session.Update and solved with a single Session.Solve, so N submitters
+// cost one delta+solve per round. Each round publishes an immutable
+// snapshot (result, epoch, accepted/rejected demand ids, and the item set
+// the result was computed from) by an atomic pointer swap: readers are
+// lock-free, writers never block on readers, and every published result is
+// bitwise reproducible from the items it claims. Submitted churn is
+// visible by the submission's returned epoch: every snapshot at that epoch
+// or later reflects it. A registry manages a fleet of named instances over
+// one bounded worker pool — an actor runs one round per dequeue and
+// re-queues behind its peers, so solve concurrency is capped fleet-wide
+// and hot instances cannot starve the rest. See cmd/schedserve/README.md
+// for the HTTP API and curl walkthrough.
+//
 // # Benchmark telemetry: the treesched/bench/v1 schema
 //
 // `schedbench -bench-json FILE` runs the solve performance suite and
@@ -144,9 +178,13 @@
 // Scenarios cover the contended single-component sizes of
 // BenchmarkEngineUnitTree (unit-tree/m=48..768), a sharded fleet of
 // disjoint networks (unit-tree/fleet; unit-tree/fleet-quick in -quick
-// runs), the pipeline's best case, and the incremental churn workloads
+// runs), the pipeline's best case, the incremental churn workloads
 // (churn/m=768, churn-fleet/m=1024), whose ns_per_op is the average cost
-// of one Session (Update + Solve) round.
+// of one Session (Update + Solve) round, and the online serving workload
+// (serve/m=768): an internal/serve session actor absorbing churn from
+// concurrent submitters, where ns_per_op is the mean coalesced round
+// latency and the additive coalesced_batch field reports the mean
+// submissions absorbed per round.
 //
 // `schedbench -compare OLD.json NEW.json` diffs two reports by
 // (scenario, parallelism) and prints per-size speedups;

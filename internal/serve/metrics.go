@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteMetrics renders the fleet's operational metrics in the Prometheus
+// text exposition format (hand-rolled; the module takes no dependencies):
+// per-instance round counters, latency accumulators, coalesced batch
+// sizes, and live-demand/profit gauges from the latest snapshot. Instances
+// are emitted in name order so scrapes are diffable.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	r.mu.Lock()
+	actors := make([]*Actor, 0, len(r.actors))
+	for _, a := range r.actors {
+		if a != nil {
+			actors = append(actors, a)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(actors, func(i, j int) bool { return actors[i].name < actors[j].name })
+
+	// Gather each actor's stats and snapshot once, so a scrape takes the
+	// session mutex once per instance (not once per metric) and all of an
+	// instance's series come from the same instant.
+	type row struct {
+		label string
+		st    ActorStats
+		snap  *Snapshot
+	}
+	rows := make([]row, len(actors))
+	for i, a := range actors {
+		rows[i] = row{label: escapeLabel(a.name), st: a.Stats(), snap: a.Snapshot()}
+	}
+
+	fmt.Fprintf(w, "# TYPE schedserve_instances gauge\nschedserve_instances %d\n", len(rows))
+	emit := func(metric, typ, help string, value func(r *row) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for i := range rows {
+			fmt.Fprintf(w, "%s{instance=%q} %s\n", metric, rows[i].label, value(&rows[i]))
+		}
+	}
+	emit("schedserve_epoch", "counter", "latest published snapshot epoch",
+		func(r *row) string { return fmt.Sprintf("%d", r.snap.Epoch) })
+	emit("schedserve_rounds_total", "counter", "coalesced churn rounds run",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Rounds) })
+	emit("schedserve_submissions_total", "counter", "churn submissions coalesced into rounds",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Submissions) })
+	emit("schedserve_submissions_failed_total", "counter", "churn submissions rejected",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Failed) })
+	emit("schedserve_round_latency_seconds_sum", "counter", "total round wall time (update+solve+publish)",
+		func(r *row) string { return fmt.Sprintf("%g", r.st.TotalLatency.Seconds()) })
+	emit("schedserve_round_latency_seconds_max", "gauge", "worst round wall time",
+		func(r *row) string { return fmt.Sprintf("%g", r.st.MaxLatency.Seconds()) })
+	emit("schedserve_last_batch", "gauge", "submissions coalesced into the latest round",
+		func(r *row) string { return fmt.Sprintf("%d", r.snap.Batch) })
+	emit("schedserve_live_demands", "gauge", "live demands at the latest epoch",
+		func(r *row) string { return fmt.Sprintf("%d", r.snap.Live) })
+	emit("schedserve_accepted_demands", "gauge", "demands scheduled at the latest epoch",
+		func(r *row) string { return fmt.Sprintf("%d", len(r.snap.Accepted)) })
+	emit("schedserve_profit", "gauge", "scheduled profit at the latest epoch",
+		func(r *row) string { return fmt.Sprintf("%g", r.snap.Result.Profit) })
+	emit("schedserve_session_reprepares_total", "counter", "session compaction re-prepares",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Session.Reprepares) })
+}
+
+// escapeLabel makes a name safe inside a Prometheus label value (the %q
+// verb adds the quotes; this handles what %q would double-escape wrongly —
+// nothing — so it only strips newlines defensively).
+func escapeLabel(s string) string {
+	return strings.NewReplacer("\n", " ", "\r", " ").Replace(s)
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	treesched "treesched"
+)
+
+// Registry manages a fleet of named instances whose actors share one
+// bounded worker pool: total solve concurrency is capped by the pool size
+// no matter how many instances exist, and actors with pending churn are
+// served round-robin. All methods are safe for concurrent use.
+type Registry struct {
+	pool *pool
+
+	mu     sync.Mutex
+	actors map[string]*Actor
+	closed bool
+	nextID int
+}
+
+// NewRegistry creates an empty registry with the given worker-pool size
+// (values below 1 become 1).
+func NewRegistry(workers int) *Registry {
+	return &Registry{
+		pool:   newPool(workers),
+		actors: make(map[string]*Actor),
+	}
+}
+
+// Create builds a session over the instance with its own solver carrying
+// opts, starts an actor for it on the shared pool, and registers it under
+// name. An empty name is assigned one ("i0", "i1", ...). The initial
+// demand set is solved and published as epoch 0 before Create returns.
+func (r *Registry) Create(name string, in *treesched.Instance, opts treesched.Options) (*Actor, error) {
+	sess, err := treesched.NewSolver(opts).Session(in)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if name == "" {
+		name = fmt.Sprintf("i%d", r.nextID)
+		r.nextID++
+	}
+	if _, ok := r.actors[name]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: instance %q already exists", name)
+	}
+	// Reserve the name before the initial solve so two racing Creates of
+	// the same name cannot both succeed; the slot is replaced (or removed)
+	// below.
+	r.actors[name] = nil
+	r.mu.Unlock()
+
+	a, err := newPooledActor(name, sess, r.pool.enqueue)
+
+	r.mu.Lock()
+	if err != nil || r.closed {
+		delete(r.actors, name)
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		a.close()
+		return nil, ErrClosed
+	}
+	r.actors[name] = a
+	r.mu.Unlock()
+	return a, nil
+}
+
+// Get returns the actor registered under name.
+func (r *Registry) Get(name string) (*Actor, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.actors[name]
+	return a, ok && a != nil
+}
+
+// List returns the registered instance names, ascending.
+func (r *Registry) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.actors))
+	for name, a := range r.actors {
+		if a != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete unregisters and closes the named instance: pending and future
+// submissions fail with ErrClosed; a round already in flight completes.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	a, ok := r.actors[name]
+	if !ok || a == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: no instance %q", name)
+	}
+	delete(r.actors, name)
+	r.mu.Unlock()
+	a.close()
+	return nil
+}
+
+// Stats returns every registered actor's stats, ordered by name.
+func (r *Registry) Stats() []ActorStats {
+	r.mu.Lock()
+	actors := make([]*Actor, 0, len(r.actors))
+	for _, a := range r.actors {
+		if a != nil {
+			actors = append(actors, a)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(actors, func(i, j int) bool { return actors[i].name < actors[j].name })
+	out := make([]ActorStats, len(actors))
+	for i, a := range actors {
+		out[i] = a.Stats()
+	}
+	return out
+}
+
+// Close deletes every instance and stops the worker pool. In-flight rounds
+// complete; pending submissions fail with ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	actors := make([]*Actor, 0, len(r.actors))
+	for _, a := range r.actors {
+		if a != nil {
+			actors = append(actors, a)
+		}
+	}
+	r.actors = make(map[string]*Actor)
+	r.mu.Unlock()
+	for _, a := range actors {
+		a.close()
+	}
+	r.pool.close()
+}
+
+// pool is the registry's bounded round runner: a FIFO of actors with
+// pending churn, drained by a fixed set of workers. Each dequeue runs
+// exactly one round (Actor.step), and an actor is never queued twice —
+// Actor.running flips on the idle->scheduled transition and step
+// re-enqueues itself while churn keeps arriving.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Actor
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) enqueue(a *Actor) {
+	p.mu.Lock()
+	if p.closed {
+		// Shutdown: run the final round inline so no waiter is stranded
+		// (close has already drained the actor's pending, so this is at
+		// most the round racing the shutdown).
+		p.mu.Unlock()
+		a.step()
+		return
+	}
+	p.queue = append(p.queue, a)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		a := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		a.step()
+	}
+}
+
+// close drains the queue and stops the workers once it is empty.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -2,6 +2,7 @@ package treesched
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"treesched/internal/decomp"
@@ -46,6 +47,54 @@ type Session struct {
 	// per O(live) churn — and the session's footprint stays proportional to
 	// the live set, not the total churn.
 	arrived int
+	// Observability counters behind Stats; all guarded by mu.
+	updates     int
+	solves      int
+	reprepares  int
+	lastRemoved int
+	lastAdded   int
+}
+
+// SessionStats is a snapshot of a session's incremental-state health, for
+// operators and the serve layer: how large the live set is, how much stale
+// interned layout state has accreted since the last full preparation, how
+// often the compaction threshold forced a re-prepare, and how big the last
+// applied delta was.
+type SessionStats struct {
+	// Live is the number of live demands; Items counts their demand
+	// instances (one per accessible network), the unit the engine works in.
+	Live  int
+	Items int
+	// Updates and Solves count successful calls since the session was
+	// created. Failed updates change no state and are not counted.
+	Updates int
+	Solves  int
+	// Accreted is the number of items interned since the last full
+	// preparation — the stale-slot growth the compaction threshold watches.
+	// Reprepares counts the compactions triggered so far; each resets
+	// Accreted to zero.
+	Accreted   int
+	Reprepares int
+	// LastRemoved / LastAdded are the item delta sizes of the most recent
+	// successful Update (zero before the first).
+	LastRemoved int
+	LastAdded   int
+}
+
+// Stats reports the session's current incremental-state counters.
+func (sess *Session) Stats() SessionStats {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return SessionStats{
+		Live:        len(sess.live),
+		Items:       len(sess.p.Items()),
+		Updates:     sess.updates,
+		Solves:      sess.solves,
+		Accreted:    sess.arrived,
+		Reprepares:  sess.reprepares,
+		LastRemoved: sess.lastRemoved,
+		LastAdded:   sess.lastAdded,
+	}
 }
 
 // NewDemand describes one arriving demand for Session.Update.
@@ -190,12 +239,16 @@ func (sess *Session) Update(c Churn) ([]int, error) {
 	}
 	sess.next += len(ids)
 	sess.arrived += len(add)
+	sess.updates++
+	sess.lastRemoved = len(remove)
+	sess.lastAdded = len(add)
 	if sess.arrived > 2*len(sess.p.Items())+64 {
 		// Compact the accreted stale layout state: re-prepare over the
 		// current (already densely-indexed) items. Solve results are
 		// unaffected — they are a pure function of the item slice.
 		sess.p = engine.PrepareWorkers(sess.p.Items(), sess.solver.opts.Parallelism)
 		sess.arrived = 0
+		sess.reprepares++
 	}
 	return ids, nil
 }
@@ -203,7 +256,34 @@ func (sess *Session) Update(c Churn) ([]int, error) {
 // Solve runs the unit-height pipeline over the session's current demand
 // set. Assignments report the session's demand ids.
 func (sess *Session) Solve() (*Result, error) {
+	res, _, err := sess.solveLocked(false)
+	return res, err
+}
+
+// SolveWithItems is Solve plus a copy of the engine item set the result was
+// computed from, captured under the same lock acquisition — so the pair is
+// epoch-consistent even when other goroutines interleave Updates. This is
+// the primitive the internal/serve snapshot publisher builds on: a published
+// Result can always be re-derived, bitwise, from the items it claims. The
+// item type lives in an internal package; external modules should treat the
+// slice as opaque.
+func (sess *Session) SolveWithItems() (*Result, []engine.Item, error) {
+	return sess.solveLocked(true)
+}
+
+func (sess *Session) solveLocked(withItems bool) (*Result, []engine.Item, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	return sess.solver.unitResultFromPrepared(sess.p)
+	res, err := sess.solver.unitResultFromPrepared(sess.p)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess.solves++
+	if !withItems {
+		return res, nil, nil
+	}
+	// Shallow clone: engine code never mutates an item's inner slices after
+	// construction, and later Applies rewrite whole elements of the
+	// session's own slice, never the clone's.
+	return res, slices.Clone(sess.p.Items()), nil
 }

@@ -3,6 +3,7 @@ package treesched_test
 import (
 	"math/rand"
 	"slices"
+	"sync"
 	"testing"
 
 	treesched "treesched"
@@ -203,6 +204,234 @@ func TestSessionLongChurnCompacts(t *testing.T) {
 	}
 	if sess.Demands() != 10 {
 		t.Fatalf("live set drifted to %d", sess.Demands())
+	}
+}
+
+// TestSessionStatsCounters drives a churn sequence across the 2x stale-slot
+// compaction threshold and checks every Stats counter along the way.
+func TestSessionStatsCounters(t *testing.T) {
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 8})
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 16, Trees: 2, Demands: 10, ProfitRatio: 4,
+	}, 17)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Live != 10 || st.Updates != 0 || st.Solves != 0 || st.Reprepares != 0 || st.Accreted != 0 {
+		t.Fatalf("fresh session stats %+v", st)
+	}
+	if st.Items < st.Live {
+		t.Fatalf("items %d < live %d", st.Items, st.Live)
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	live := make([]int, 10)
+	for i := range live {
+		live[i] = i
+	}
+	accreted, reprepares := 0, 0
+	for round := 0; round < 60; round++ {
+		c := treesched.Churn{Remove: live[:3]}
+		for i := 0; i < 3; i++ {
+			u, v := rng.Intn(16), rng.Intn(16)
+			if u == v {
+				v = (v + 1) % 16
+			}
+			c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*3})
+		}
+		ids, err := sess.Update(c)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		live = append(live[3:], ids...)
+
+		st = sess.Stats()
+		// Model the accretion/compaction bookkeeping: each arrival interns
+		// len(access)=2 items; crossing 2*items+64 resets and counts.
+		accreted += st.LastAdded
+		if accreted > 2*st.Items+64 {
+			accreted = 0
+			reprepares++
+		}
+		if st.Updates != round+1 {
+			t.Fatalf("round %d: Updates = %d", round, st.Updates)
+		}
+		if st.Live != 10 {
+			t.Fatalf("round %d: Live = %d", round, st.Live)
+		}
+		if st.LastAdded == 0 || st.LastRemoved == 0 {
+			t.Fatalf("round %d: last delta (%d,%d)", round, st.LastRemoved, st.LastAdded)
+		}
+		if st.Accreted != accreted {
+			t.Fatalf("round %d: Accreted = %d, want %d", round, st.Accreted, accreted)
+		}
+		if st.Reprepares != reprepares {
+			t.Fatalf("round %d: Reprepares = %d, want %d", round, st.Reprepares, reprepares)
+		}
+	}
+	if reprepares < 1 {
+		t.Fatalf("churn sequence never crossed the compaction threshold (accreted %d)", accreted)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Stats().Solves; got != 1 {
+		t.Fatalf("Solves = %d, want 1", got)
+	}
+}
+
+// TestSessionUpdateAtomic checks batch atomicity: a churn containing one
+// invalid entry must reject as a whole, leaving the live set, the solve
+// result, the id allocator, and every Stats counter untouched.
+func TestSessionUpdateAtomic(t *testing.T) {
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 4})
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 16, Trees: 2, Demands: 8, ProfitRatio: 4,
+	}, 19)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sess.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeStats := sess.Stats()
+
+	good := treesched.NewDemand{U: 0, V: 5, Profit: 2}
+	for name, c := range map[string]treesched.Churn{
+		"invalid endpoints":    {Remove: []int{0}, Add: []treesched.NewDemand{good, {U: 3, V: 3, Profit: 1}}},
+		"out-of-range vertex":  {Remove: []int{1}, Add: []treesched.NewDemand{good, {U: 0, V: 99, Profit: 1}}},
+		"sub-unit under Auto":  {Remove: []int{2}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Height: 0.4}}},
+		"non-positive profit":  {Remove: []int{3}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: -1}}},
+		"unknown removal":      {Remove: []int{0, 77}, Add: []treesched.NewDemand{good}},
+		"duplicate removal":    {Remove: []int{4, 4}, Add: []treesched.NewDemand{good}},
+		"unknown access":       {Remove: []int{5}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Access: []int{9}}}},
+	} {
+		if _, err := sess.Update(c); err == nil {
+			t.Fatalf("%s: batch accepted", name)
+		}
+		if got := sess.Demands(); got != 8 {
+			t.Fatalf("%s: live set half-applied: %d demands, want 8", name, got)
+		}
+		if got := sess.Stats(); got != beforeStats {
+			t.Fatalf("%s: stats moved on a rejected batch: %+v -> %+v", name, beforeStats, got)
+		}
+		after, err := sess.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		beforeStats.Solves++ // the verification solve itself
+		if after.Profit != before.Profit || after.DualBound != before.DualBound {
+			t.Fatalf("%s: solve drifted after rejected batch: (%v,%v) -> (%v,%v)",
+				name, before.Profit, before.DualBound, after.Profit, after.DualBound)
+		}
+	}
+
+	// The id allocator must not have burned ids on rejected batches: the
+	// next successful arrival gets id 8.
+	ids, err := sess.Update(treesched.Churn{Add: []treesched.NewDemand{good}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 8 {
+		t.Fatalf("ids after rejected batches = %v, want [8]", ids)
+	}
+}
+
+// TestSessionConcurrentChurnSolve hammers interleaved Update and
+// SolveWithItems from many goroutines (run under -race in CI) and then
+// asserts epoch consistency: every published (result, item set) pair is
+// bitwise reproducible by a from-scratch engine run over exactly that item
+// set — the contract the serve actor's snapshots depend on.
+func TestSessionConcurrentChurnSolve(t *testing.T) {
+	opts := treesched.Options{Epsilon: 0.1, Seed: 12, Parallelism: 2}
+	s := treesched.NewSolver(opts)
+	const updaters, rounds, solvers, solves = 4, 6, 2, 8
+	inst := buildInstance(t, workload.TreeConfig{
+		Vertices: 24, Trees: 2, Demands: 16, ProfitRatio: 8,
+	}, 37)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type capture struct {
+		res   *treesched.Result
+		items []engine.Item
+	}
+	captures := make([][]capture, solvers)
+	var wg sync.WaitGroup
+	for k := 0; k < updaters; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(50 + k)))
+			mine := []int{k * 2, k*2 + 1} // disjoint initial ownership
+			for r := 0; r < rounds; r++ {
+				c := treesched.Churn{Remove: []int{mine[0]}}
+				u, v := rng.Intn(24), rng.Intn(24)
+				if u == v {
+					v = (v + 1) % 24
+				}
+				c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*7})
+				ids, err := sess.Update(c)
+				if err != nil {
+					t.Errorf("updater %d round %d: %v", k, r, err)
+					return
+				}
+				mine = append(mine[1:], ids...)
+			}
+		}(k)
+	}
+	for k := 0; k < solvers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for r := 0; r < solves; r++ {
+				res, items, err := sess.SolveWithItems()
+				if err != nil {
+					t.Errorf("solver %d round %d: %v", k, r, err)
+					return
+				}
+				captures[k] = append(captures[k], capture{res, items})
+			}
+		}(k)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for k := range captures {
+		for r, got := range captures[k] {
+			items := slices.Clone(got.items)
+			for i := range items {
+				items[i].ID = i
+			}
+			eres, err := engine.RunParallel(items, engine.Config{
+				Mode: engine.Unit, Epsilon: opts.Epsilon, Seed: opts.Seed,
+			}, opts.Parallelism)
+			if err != nil {
+				t.Fatalf("solver %d capture %d: scratch run: %v", k, r, err)
+			}
+			if got.res.Profit != eres.Profit || got.res.DualBound != eres.Bound {
+				t.Fatalf("solver %d capture %d: published (%v,%v), scratch (%v,%v)",
+					k, r, got.res.Profit, got.res.DualBound, eres.Profit, eres.Bound)
+			}
+			if len(got.res.Assignments) != len(eres.Selected) {
+				t.Fatalf("solver %d capture %d: %d assignments, scratch %d",
+					k, r, len(got.res.Assignments), len(eres.Selected))
+			}
+			for i, id := range eres.Selected {
+				if got.res.Assignments[i].Demand != items[id].Demand ||
+					got.res.Assignments[i].Network != items[id].Resource {
+					t.Fatalf("solver %d capture %d: assignment %d diverged", k, r, i)
+				}
+			}
+		}
 	}
 }
 
