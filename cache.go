@@ -10,6 +10,12 @@ type lru[V any] struct {
 	capacity   int
 	entries    map[string]*lruEntry[V]
 	head, tail *lruEntry[V] // head = most recently used
+	// hits/misses count get outcomes since construction, surfaced through
+	// Solver.CacheStats so cache effectiveness (and hence warm-start
+	// regressions that show up as unexpected cold prepares) is observable
+	// without a profiler.
+	hits   uint64
+	misses uint64
 }
 
 type lruEntry[V any] struct {
@@ -31,11 +37,18 @@ func (c *lru[V]) len() int { return len(c.entries) }
 func (c *lru[V]) get(key string) (V, bool) {
 	e, ok := c.entries[key]
 	if !ok {
+		c.misses++
 		var zero V
 		return zero, false
 	}
+	c.hits++
 	c.moveToFront(e)
 	return e.val, true
+}
+
+// counters snapshots the cache's size and hit/miss counts.
+func (c *lru[V]) counters() CacheCounters {
+	return CacheCounters{Len: len(c.entries), Hits: c.hits, Misses: c.misses}
 }
 
 // put inserts or refreshes a key, evicting the least-recently used entry

@@ -88,3 +88,59 @@ func TestSolverCacheHotInstanceSurvives(t *testing.T) {
 		t.Fatalf("hot instance result drifted: profit %v vs %v", got.Profit, want.Profit)
 	}
 }
+
+// TestSolverCacheStatsCounters pins the exact hit/miss accounting of the
+// preparation caches: first sight of an instance misses Prepared and
+// Layouts, re-solving it hits Prepared without touching Layouts, and a new
+// demand set on a known network structure misses Prepared but hits Layouts.
+func TestSolverCacheStatsCounters(t *testing.T) {
+	s := NewSolver(Options{Epsilon: 0.1, Seed: 1})
+	build := func(profit float64) *Instance {
+		in := NewInstance(6)
+		if _, err := in.AddTree([][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}); err != nil {
+			t.Fatal(err)
+		}
+		in.AddDemand(0, 3, profit)
+		in.AddDemand(2, 5, profit/2)
+		return in
+	}
+	check := func(stage string, want CacheStats) {
+		t.Helper()
+		if got := s.CacheStats(); got != want {
+			t.Fatalf("%s: CacheStats = %+v, want %+v", stage, got, want)
+		}
+	}
+	check("fresh solver", CacheStats{})
+
+	if _, err := s.Solve(build(8)); err != nil {
+		t.Fatal(err)
+	}
+	check("first solve", CacheStats{
+		Layouts:  CacheCounters{Len: 1, Misses: 1},
+		Prepared: CacheCounters{Len: 1, Misses: 1},
+	})
+
+	// Same instance content: the prepared fast path hits and skips the
+	// layout cache entirely.
+	if _, err := s.Solve(build(8)); err != nil {
+		t.Fatal(err)
+	}
+	check("re-solve", CacheStats{
+		Layouts:  CacheCounters{Len: 1, Misses: 1},
+		Prepared: CacheCounters{Len: 1, Hits: 1, Misses: 1},
+	})
+
+	// New demands on the same network structure: a prepared miss that
+	// reuses the cached tree decomposition.
+	if _, err := s.Solve(build(3)); err != nil {
+		t.Fatal(err)
+	}
+	check("new demands, known network", CacheStats{
+		Layouts:  CacheCounters{Len: 1, Hits: 1, Misses: 1},
+		Prepared: CacheCounters{Len: 2, Hits: 1, Misses: 2},
+	})
+
+	if st := s.CacheStats(); st.Arbitrary != (CacheCounters{}) {
+		t.Fatalf("Arbitrary counters moved on the unit pipeline: %+v", st.Arbitrary)
+	}
+}

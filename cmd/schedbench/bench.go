@@ -169,12 +169,24 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 	// contended single-component instance (the incremental path's worst
 	// case); churn-fleet/m=1024 churns one network of a disjoint fleet per
 	// round (the locality regime a multi-tenant service sees, where only
-	// the touched component rebuilds). ns_per_op is the average cost of one
-	// (Update + Solve) round over churnRounds rounds.
+	// the touched component rebuilds). churn-warm/m=768 and churn-cold/m=768
+	// are the warm-start headline pair: identical component-local churn —
+	// churnLocalN demands of one rotating network per round — on the same
+	// fleet shape, with the per-component dual cache on (the session
+	// default) and forced off. Their ratio is the steady-state speedup of
+	// replaying untouched components instead of re-running them. ns_per_op
+	// is the average cost of one (Update + Solve) round over churnRounds
+	// rounds.
+	fleet768 := workload.TreeConfig{
+		Vertices: 256, Trees: 16, Demands: 768, ProfitRatio: 16,
+		AccessMin: 1, AccessMax: 1,
+	}
 	for _, sc := range []struct {
-		name  string
-		cfg   workload.TreeConfig
-		local bool
+		name   string
+		cfg    workload.TreeConfig
+		local  bool
+		churnN int  // demands churned per round (0 = half the network)
+		cold   bool // disable the warm-start cache
 	}{
 		{name: "churn/m=768", cfg: workload.TreeConfig{
 			Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
@@ -183,10 +195,12 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 			Vertices: 256, Trees: 16, Demands: 1024, ProfitRatio: 16,
 			AccessMin: 1, AccessMax: 1,
 		}, local: true},
+		{name: "churn-warm/m=768", cfg: fleet768, local: true, churnN: churnLocalN},
+		{name: "churn-cold/m=768", cfg: fleet768, local: true, churnN: churnLocalN, cold: true},
 	} {
 		var serialNs int64
 		for _, p := range []int{1, parallel} {
-			ns, nItems, err := timeChurn(sc.cfg, seed, p, sc.local)
+			ns, nItems, err := timeChurn(sc.cfg, seed, p, sc.local, sc.churnN, sc.cold)
 			if err != nil {
 				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
 			}
@@ -207,36 +221,49 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 			})
 		}
 	}
-	// The serve scenario: the online service shape over the same contended
-	// m=768 instance — an in-process session actor absorbing churn from
-	// serveSubmitters concurrent submitters, one coalesced delta+solve per
-	// round. ns_per_op is the mean round latency (the quantity a snapshot
-	// reader's staleness is bounded by) and coalesced_batch the mean
-	// submissions absorbed per round.
-	var serveSerialNs int64
-	for _, p := range []int{1, parallel} {
-		ns, rounds, batch, nItems, err := timeServe(workload.TreeConfig{
+	// The serve scenarios: the online service shape — an in-process session
+	// actor absorbing churn from serveSubmitters concurrent submitters, one
+	// coalesced delta+solve per round. serve/m=768 hammers the contended
+	// single-component instance with unpinned churn; serve-warm/m=768 is
+	// the fleet shape with every submitter churning only networks it owns,
+	// so each round touches few components and the warm dual cache replays
+	// the rest — the steady-state latency regime cmd/schedserve sees.
+	// ns_per_op is the mean round latency (the quantity a snapshot reader's
+	// staleness is bounded by) and coalesced_batch the mean submissions
+	// absorbed per round.
+	for _, sc := range []struct {
+		name   string
+		cfg    workload.TreeConfig
+		pinned bool
+	}{
+		{name: "serve/m=768", cfg: workload.TreeConfig{
 			Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16,
-		}, seed, p)
-		if err != nil {
-			return fmt.Errorf("bench serve/m=768 p=%d: %w", p, err)
+		}},
+		{name: "serve-warm/m=768", cfg: fleet768, pinned: true},
+	} {
+		var serveSerialNs int64
+		for _, p := range []int{1, parallel} {
+			ns, rounds, batch, nItems, err := timeServe(sc.cfg, seed, p, sc.pinned)
+			if err != nil {
+				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
+			}
+			if p == 1 {
+				serveSerialNs = ns
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            sc.name,
+				Items:           nItems,
+				Mode:            engine.Unit.String(),
+				Parallelism:     p,
+				Iters:           rounds,
+				NsPerOp:         ns,
+				SolvesPerSec:    1e9 / float64(ns),
+				ItemsPerSec:     float64(nItems) * 1e9 / float64(ns),
+				SerialNsPerOp:   serveSerialNs,
+				SpeedupVsSerial: float64(serveSerialNs) / float64(ns),
+				CoalescedBatch:  batch,
+			})
 		}
-		if p == 1 {
-			serveSerialNs = ns
-		}
-		report.Results = append(report.Results, BenchResult{
-			Name:            "serve/m=768",
-			Items:           nItems,
-			Mode:            engine.Unit.String(),
-			Parallelism:     p,
-			Iters:           rounds,
-			NsPerOp:         ns,
-			SolvesPerSec:    1e9 / float64(ns),
-			ItemsPerSec:     float64(nItems) * 1e9 / float64(ns),
-			SerialNsPerOp:   serveSerialNs,
-			SpeedupVsSerial: float64(serveSerialNs) / float64(ns),
-			CoalescedBatch:  batch,
-		})
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -256,14 +283,21 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 const (
 	churnRounds = 12
 	churnDenom  = 20 // 5% of the live demands depart (and arrive) per round
+	// churnLocalN is the per-round churn of the churn-warm/churn-cold pair:
+	// a handful of demands on one network, the granularity a serving round
+	// coalesces, so the round cost is dominated by the solve — the quantity
+	// the warm cache accelerates — not by delta bookkeeping.
+	churnLocalN = 8
 )
 
 // timeChurn measures the incremental re-solve workload: one Session over a
 // fixed network set, churning demands and re-solving each round. With
-// localNet, each round's churn is confined to one rotating network (half of
-// its live demands); otherwise ~5% of all demands churn uniformly. Returns
-// the average ns per (Update + Solve) round and the initial item count.
-func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bool) (int64, int, error) {
+// localNet, each round's churn is confined to one rotating network — churnN
+// of its live demands, or half of them when churnN is 0; otherwise ~5% of
+// all demands churn uniformly. cold disables the warm-start dual cache.
+// Returns the average ns per (Update + Solve) round and the initial item
+// count.
+func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bool, churnN int, cold bool) (int64, int, error) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	in, err := workload.RandomTreeInstance(cfg, rng)
 	if err != nil {
@@ -282,7 +316,9 @@ func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bo
 	for _, d := range in.Demands {
 		inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...))
 	}
-	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: seed, Parallelism: parallelism})
+	s := treesched.NewSolver(treesched.Options{
+		Epsilon: 0.1, Seed: seed, Parallelism: parallelism, DisableWarmStart: cold,
+	})
 	sess, err := s.Session(inst)
 	if err != nil {
 		return 0, 0, err
@@ -313,7 +349,11 @@ func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bo
 					onNet = append(onNet, id)
 				}
 			}
-			c.Remove = onNet[:len(onNet)/2]
+			take := len(onNet) / 2
+			if churnN > 0 && churnN < take {
+				take = churnN
+			}
+			c.Remove = onNet[:take]
 			for range c.Remove {
 				u, v := rng.Intn(cfg.Vertices), rng.Intn(cfg.Vertices)
 				if u == v {
@@ -386,9 +426,13 @@ const (
 // actor over a fixed instance, hammered by concurrent submitters. Each
 // submitter churns only demand ids it owns (its slice of the initial set
 // plus the replacements Submit assigned to it), so every coalesced batch is
-// valid. Returns the mean round latency (ns), the round count, the mean
-// coalesced batch size, and the initial demand count.
-func timeServe(cfg workload.TreeConfig, seed int64, parallelism int) (int64, int, float64, int, error) {
+// valid. With pinned (requires a fleet config with AccessMin=AccessMax=1),
+// ownership follows networks — submitter k owns the demands of networks
+// ≡ k (mod serveSubmitters) and pins its replacements to those networks —
+// so every round's churn is component-local and the warm dual cache
+// replays the untouched networks. Returns the mean round latency (ns), the
+// round count, the mean coalesced batch size, and the initial demand count.
+func timeServe(cfg workload.TreeConfig, seed int64, parallelism int, pinned bool) (int64, int, float64, int, error) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	in, err := workload.RandomTreeInstance(cfg, rng)
 	if err != nil {
@@ -424,9 +468,20 @@ func timeServe(cfg workload.TreeConfig, seed int64, parallelism int) (int64, int
 		go func(k int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + 100 + int64(k)))
-			var mine []int
-			for id := k; id < len(in.Demands); id += serveSubmitters {
-				mine = append(mine, id)
+			var mine, nets []int
+			if pinned {
+				for t := k; t < cfg.Trees; t += serveSubmitters {
+					nets = append(nets, t)
+				}
+				for id, d := range in.Demands {
+					if len(d.Access) == 1 && d.Access[0]%serveSubmitters == k {
+						mine = append(mine, id)
+					}
+				}
+			} else {
+				for id := k; id < len(in.Demands); id += serveSubmitters {
+					mine = append(mine, id)
+				}
 			}
 			for r := 0; r < serveSubmitsPer; r++ {
 				n := serveChurnSize
@@ -439,7 +494,11 @@ func timeServe(cfg workload.TreeConfig, seed int64, parallelism int) (int64, int
 					if u == v {
 						v = (v + 1) % cfg.Vertices
 					}
-					c.Add = append(c.Add, treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*15})
+					nd := treesched.NewDemand{U: u, V: v, Profit: 1 + rng.Float64()*15}
+					if pinned {
+						nd.Access = []int{nets[rng.Intn(len(nets))]}
+					}
+					c.Add = append(c.Add, nd)
 				}
 				ids, _, err := actor.Submit(c)
 				if err != nil {

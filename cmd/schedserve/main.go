@@ -287,14 +287,18 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"round_latency_ms_sum": float64(st.TotalLatency) / float64(time.Millisecond),
 		"round_latency_ms_max": float64(st.MaxLatency) / float64(time.Millisecond),
 		"session": map[string]any{
-			"live":         st.Session.Live,
-			"items":        st.Session.Items,
-			"updates":      st.Session.Updates,
-			"solves":       st.Session.Solves,
-			"accreted":     st.Session.Accreted,
-			"reprepares":   st.Session.Reprepares,
-			"last_removed": st.Session.LastRemoved,
-			"last_added":   st.Session.LastAdded,
+			"live":                st.Session.Live,
+			"items":               st.Session.Items,
+			"updates":             st.Session.Updates,
+			"solves":              st.Session.Solves,
+			"accreted":            st.Session.Accreted,
+			"reprepares":          st.Session.Reprepares,
+			"last_removed":        st.Session.LastRemoved,
+			"last_added":          st.Session.LastAdded,
+			"warm_solves":         st.Session.WarmSolves,
+			"cold_solves":         st.Session.ColdSolves,
+			"components_replayed": st.Session.ComponentsReplayed,
+			"components_resolved": st.Session.ComponentsResolved,
 		},
 	})
 }

@@ -137,6 +137,51 @@
 // acquisition — the epoch-consistency primitive concurrent readers build
 // on.
 //
+// # Warm-started solves: replaying untouched components across churn
+//
+// Churn is usually local: a round's delta reaches a few conflict
+// components and leaves the rest identical. Because a component shares no
+// demand and no edge with any other, its first-phase execution — the raise
+// stack with schedule stamps, the shard-local dense α/β, its λ
+// contribution, and its trace — is a pure function of its own items, the
+// solve configuration, and the seed. Sessions therefore enable the
+// engine's warm-start cache: after every sharded solve, each component's
+// outcome is recorded keyed by its prepared shard and the configuration
+// (mode, MIS budget, seed, ε, ξ, stage/step schedule, trace recording);
+// the next solve replays cached outcomes for components the churn never
+// reached and re-runs the schedule only where the item set changed, with
+// the shared deterministic merge reassembling the global Result.
+//
+// Warm results are bitwise identical to cold solves — same selections,
+// profit, λ, dual bound, and trace — because nothing on the replay path
+// re-does arithmetic: the merged global λ is a min over per-shard minima
+// (order-independent, no arithmetic), merged dual values are exact copies
+// into disjoint global slots, and the dual objective sums in sorted
+// external-key order regardless of which components were replayed. Stream
+// drift cannot occur: per-owner PRNG streams are re-seeded per run from
+// (seed, owner), so a replayed component's recorded draws are exactly the
+// draws a re-run would make. The warm≡cold property is pinned by the
+// incremental-state suite across multi-round churn sequences, seeds,
+// worker counts, and unit/arbitrary modes.
+//
+// Cached component state invalidates exactly when its inputs change:
+//
+//   - a touched component — Apply marks every item whose row, content or
+//     id a delta reached — is re-solved (its neighbors are not: conflict
+//     edges are symmetric, so churn cannot reach a component without
+//     touching it);
+//   - a configuration change (different Options, ε, seed, mode, or trace
+//     setting) misses the cache by key and re-solves everything;
+//   - a re-prepare — Session compaction when stale interned slots
+//     outgrow the live set, or any fresh Prepare — discards the cache
+//     wholesale with the Prepared that owned it; the next solve is cold.
+//
+// Session.Stats reports the cache's behavior: WarmSolves/ColdSolves count
+// rounds that hit the sharded replay path versus rounds solved from zero
+// duals, and ComponentsReplayed/ComponentsResolved split each warm round's
+// components into replayed and re-run. internal/serve exports the same
+// counters per instance, plus a warm-hit ratio gauge, through WriteMetrics.
+//
 // # The online serving layer: internal/serve and cmd/schedserve
 //
 // The production shape of the engine is the online service: demands arrive
@@ -180,8 +225,11 @@
 // disjoint networks (unit-tree/fleet; unit-tree/fleet-quick in -quick
 // runs), the pipeline's best case, the incremental churn workloads
 // (churn/m=768, churn-fleet/m=1024), whose ns_per_op is the average cost
-// of one Session (Update + Solve) round, and the online serving workload
-// (serve/m=768): an internal/serve session actor absorbing churn from
+// of one Session (Update + Solve) round, the warm-start pair
+// (churn-warm/m=768 and its ablation churn-cold/m=768: the same
+// component-local fleet churn with the warm cache on and off — snapshotted
+// in BENCH_warm_start.json), and the online serving workloads (serve/m=768,
+// serve-warm/m=768): an internal/serve session actor absorbing churn from
 // concurrent submitters, where ns_per_op is the mean coalesced round
 // latency and the additive coalesced_batch field reports the mean
 // submissions absorbed per round.

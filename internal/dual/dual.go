@@ -28,6 +28,7 @@ package dual
 import (
 	"math"
 	"slices"
+	"sync"
 
 	"treesched/internal/model"
 )
@@ -44,6 +45,90 @@ type Index struct {
 	demandSlot map[int]int32
 	demandIDs  []int
 	edges      *model.EdgeInterner
+
+	// orderMu guards the memoized Value summation orders below. Value sums
+	// in sorted-external-key order for bitwise determinism; the order is a
+	// pure function of the interned prefix, and re-sorting it on every call
+	// dominated steady-state solve profiles. Interning is single-threaded
+	// (between runs), but many concurrent Assignments share a frozen index
+	// and may call Value simultaneously, hence the lock. A published order
+	// slice is never mutated, only replaced, so callers may keep reading one
+	// while a grown index recomputes.
+	orderMu     sync.Mutex
+	demandOrder []int32
+	edgeOrder   []int32
+}
+
+// valueOrders returns the sorted summation orders for the first nd demand
+// slots and ne edge indices, memoized for the largest extent seen. A
+// churning index grows a few slots per round; re-sorting the whole order
+// every solve would dominate the steady state, so growth merges the sorted
+// new tail into the cached permutation instead — sound because interning is
+// append-only, so existing entries never reorder.
+func (ix *Index) valueOrders(nd, ne int) (demands, edges []int32) {
+	ix.orderMu.Lock()
+	defer ix.orderMu.Unlock()
+	demands = orderFor(&ix.demandOrder, nd, func(x, y int32) int {
+		return ix.DemandID(x) - ix.DemandID(y)
+	})
+	edges = orderFor(&ix.edgeOrder, ne, func(x, y int32) int {
+		kx, ky := ix.EdgeKey(x), ix.EdgeKey(y)
+		switch {
+		case kx < ky:
+			return -1
+		case kx > ky:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return demands, edges
+}
+
+// orderFor serves the sorted order of the first n entries under cmp from
+// *cache, which always holds the order of the largest extent seen. The keys
+// behind cmp are distinct, so the sorted permutation is unique and growing
+// it by merging equals re-sorting bitwise. Published cached slices are
+// replaced, never mutated, so callers may keep iterating an old one while
+// the cache advances. A request below the cached extent (an assignment
+// created before the index last grew) filters the cached order — the sorted
+// order of a prefix of an append-only interning is a subsequence of the
+// full order — without disturbing the cache.
+func orderFor(cache *[]int32, n int, cmp func(x, y int32) int) []int32 {
+	cached := *cache
+	switch {
+	case len(cached) == n:
+		return cached
+	case len(cached) < n:
+		tail := make([]int32, 0, n-len(cached))
+		for s := len(cached); s < n; s++ {
+			tail = append(tail, int32(s))
+		}
+		slices.SortFunc(tail, cmp)
+		merged := make([]int32, 0, n)
+		i, j := 0, 0
+		for i < len(cached) && j < len(tail) {
+			if cmp(cached[i], tail[j]) <= 0 {
+				merged = append(merged, cached[i])
+				i++
+			} else {
+				merged = append(merged, tail[j])
+				j++
+			}
+		}
+		merged = append(merged, cached[i:]...)
+		merged = append(merged, tail[j:]...)
+		*cache = merged
+		return merged
+	default:
+		out := make([]int32, 0, n)
+		for _, s := range cached {
+			if int(s) < n {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
 }
 
 // NewIndex returns an empty index.
@@ -267,6 +352,31 @@ func (a *Assignment) AddBetaOf(k model.EdgeKey, v float64) {
 	a.beta[i] += v
 }
 
+// MergeSlots adds src's α/β into a through precomputed slot translations:
+// slotMap[s] (resp. edgeMap[i]) is the slot in a's index holding the same
+// external demand (edge) as src's slot s (index i). The sharded engine
+// merges disjoint per-component assignments this way — the tables are built
+// once when a component last ran and stay valid because interning is
+// append-only, replacing the per-entry key lookups of AddAlphaOf/AddBetaOf.
+func (a *Assignment) MergeSlots(src *Assignment, slotMap, edgeMap []int32) {
+	for s, v := range src.alpha {
+		if v != 0 {
+			t := slotMap[s]
+			a.growAlpha(t)
+			a.alpha[t] += v
+		}
+	}
+	for i, v := range src.beta {
+		if v != 0 {
+			t := edgeMap[i]
+			if int(t) >= len(a.beta) {
+				a.beta = append(a.beta, make([]float64, int(t)+1-len(a.beta))...)
+			}
+			a.beta[t] += v
+		}
+	}
+}
+
 // BetaSumKeys is BetaSum over edge keys.
 func (a *Assignment) BetaSumKeys(path []model.EdgeKey) float64 {
 	s := 0.0
@@ -328,32 +438,11 @@ func (a *Assignment) BetaMap() map[model.EdgeKey]float64 {
 // per-component duals into a differently-indexed global assignment and must
 // reproduce the serial run's Bound exactly.
 func (a *Assignment) Value() float64 {
-	demandOrder := make([]int32, len(a.alpha))
-	for s := range demandOrder {
-		demandOrder[s] = int32(s)
-	}
-	slices.SortFunc(demandOrder, func(x, y int32) int {
-		return a.ix.DemandID(x) - a.ix.DemandID(y)
-	})
+	demandOrder, edgeOrder := a.ix.valueOrders(len(a.alpha), len(a.beta))
 	v := 0.0
 	for _, s := range demandOrder {
 		v += a.alpha[s]
 	}
-	edgeOrder := make([]int32, len(a.beta))
-	for i := range edgeOrder {
-		edgeOrder[i] = int32(i)
-	}
-	slices.SortFunc(edgeOrder, func(x, y int32) int {
-		kx, ky := a.ix.EdgeKey(x), a.ix.EdgeKey(y)
-		switch {
-		case kx < ky:
-			return -1
-		case kx > ky:
-			return 1
-		default:
-			return 0
-		}
-	})
 	for _, i := range edgeOrder {
 		v += a.beta[i]
 	}

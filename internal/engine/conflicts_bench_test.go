@@ -132,3 +132,54 @@ func BenchmarkApplyDeltaFleet(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSolveChurnFleet measures one steady-state serving round on the
+// fleet workload — a component-local churn (one rotating network, ~3% of
+// the demands) followed by a full re-solve — with the warm-start cache on
+// or off. The warm/cold ns ratio is the replay win; the allocs/op drop
+// relative to cold also shows the pooled per-worker solve scratch (streams,
+// subgraph relabeling, step buffers) at work.
+func benchmarkSolveChurnFleet(b *testing.B, warm bool, workers int) {
+	items := fleetBenchItems(b)
+	p := engine.PrepareWorkers(slices.Clone(items), workers)
+	if warm {
+		p.EnableWarmStart()
+	}
+	cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: 2}
+	if _, err := p.RunParallel(cfg, workers); err != nil { // prime shards+cache
+		b.Fatal(err)
+	}
+	trees := 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % trees
+		cur := p.Items()
+		var remove []int
+		var add []engine.Item
+		for id := range cur {
+			if cur[id].Resource == q && len(remove) < len(cur)/32 {
+				remove = append(remove, id)
+				add = append(add, cur[id])
+			}
+		}
+		if err := p.Apply(engine.Delta{Remove: remove, Add: add}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RunParallel(cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveChurnFleetWarm(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", w), func(b *testing.B) { benchmarkSolveChurnFleet(b, true, w) })
+	}
+}
+
+func BenchmarkSolveChurnFleetCold(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p=%d", w), func(b *testing.B) { benchmarkSolveChurnFleet(b, false, w) })
+	}
+}

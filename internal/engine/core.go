@@ -132,17 +132,28 @@ func BetaGain(mode Mode, criticalLen int, delta float64) float64 {
 // items are validated to have positive profit, so no zero-profit guard is
 // needed here beyond the λ ≤ 0 check.
 func (c *Core) lambdaBound(views []ItemView) (lambda, bound float64) {
-	lambda = 1.0
+	lambda = c.lambdaOnly(views)
+	if lambda <= 0 {
+		return lambda, math.Inf(1)
+	}
+	return lambda, c.Dual.Value() / lambda
+}
+
+// lambdaOnly is the λ half of lambdaBound: min(1, min LHS/p) over views.
+// Split out so the sharded engine can score each component against its own
+// shard-local dual — the constraints of disjoint components read disjoint
+// dual variables, and min is order-independent and performs no arithmetic,
+// so the min over per-shard minima is bitwise the global λ. Warm replays
+// then reuse the cached per-shard value without touching the views at all.
+func (c *Core) lambdaOnly(views []ItemView) float64 {
+	lambda := 1.0
 	for i := range views {
 		v := &views[i]
 		if r := c.Dual.LHS(v.Slot, c.Coeff(v), v.Edges) / v.Profit; r < lambda {
 			lambda = r
 		}
 	}
-	if lambda <= 0 {
-		return lambda, math.Inf(1)
-	}
-	return lambda, c.Dual.Value() / lambda
+	return lambda
 }
 
 // SelectGreedy is the shared second phase: pop the phase-1 raise history

@@ -56,14 +56,59 @@ type Delta struct {
 	Add    []Item
 }
 
+// applyScratch holds Apply's transient O(n) bookkeeping, kept on the
+// Prepared and reused across Applies (which never overlap, per the contract
+// above). Steady churn rounds then allocate only what the post-churn state
+// retains — patched rows, member-list growth, the touched mark — instead of
+// ~a dozen set-sized marker arrays per round.
+type applyScratch struct {
+	removed    []bool
+	renum      []int
+	dirtyOld   []bool
+	dTouched   []bool
+	eTouched   []bool
+	dBound     []int32
+	eBound     []int32
+	isAdded    []bool
+	stamp      []int32
+	dirtyNew   []bool
+	extras     [][]int32 // entries are reset to length 0 (capacity kept) after use
+	extrasUsed []int32
+	movers     []int
+	free       []int
+	appendedD  []int32
+	appendedE  []int32
+	tail       []int32
+	buf        []int
+}
+
+// scratch reslices *buf to length n, allocating only when capacity is
+// short. reset clears the reslice; callers that overwrite every entry
+// anyway (renum, the -1-filled bound and stamp arrays) skip it.
+func scratch[T any](buf *[]T, n int, reset bool) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	if reset {
+		clear(s)
+	}
+	return s
+}
+
 // Apply updates the prepared state to the post-churn item set. On error the
 // Prepared is unchanged. The resulting state is equivalent to
 // PrepareWorkers over the resulting Items() slice: identical adjacency,
 // identical components, and bitwise-identical solve results at every worker
 // count.
 func (p *Prepared) Apply(d Delta) error {
+	if p.applyScr == nil {
+		p.applyScr = new(applyScratch)
+	}
+	scr := p.applyScr
 	n := len(p.items)
-	removed := make([]bool, n)
+	removed := scratch(&scr.removed, n, true)
 	for _, id := range d.Remove {
 		if id < 0 || id >= n {
 			return fmt.Errorf("engine: delta removes unknown item %d (have %d)", id, n)
@@ -98,7 +143,7 @@ func (p *Prepared) Apply(d Delta) error {
 	// always, and every arriving id (mover or addition) exceeds no later
 	// one. drop marks the ids that disappear from rows and member lists:
 	// removals and the movers' old ids.
-	var movers, free []int
+	movers, free := scr.movers[:0], scr.free[:0]
 	for i := newN; i < n; i++ {
 		if !removed[i] {
 			movers = append(movers, i)
@@ -113,8 +158,9 @@ func (p *Prepared) Apply(d Delta) error {
 	for i := n; i < newN; i++ {
 		free = append(free, i)
 	}
+	scr.movers, scr.free = movers, free
 	drop := removed
-	renum := make([]int, n) // old id -> new id (-1 for removed)
+	renum := scratch(&scr.renum, n, false) // old id -> new id (-1 for removed); overwritten in full
 	for i := range renum {
 		renum[i] = i
 	}
@@ -128,7 +174,7 @@ func (p *Prepared) Apply(d Delta) error {
 
 	// Rows referencing a departed id must filter it out. Marked in old ids;
 	// departed items caught in the mark are filtered below.
-	dirtyOld := make([]bool, n)
+	dirtyOld := scratch(&scr.dirtyOld, n, true)
 	for _, r := range d.Remove {
 		for _, w := range p.adj[r] {
 			dirtyOld[w] = true
@@ -144,8 +190,8 @@ func (p *Prepared) Apply(d Delta) error {
 	// displaced items. The group universe may grow when additions intern
 	// new demands or edges; grown groups start empty.
 	oldD, oldE := lay.ix.NumDemands(), lay.ix.NumEdges()
-	dTouched := make([]bool, oldD)
-	eTouched := make([]bool, oldE)
+	dTouched := scratch(&scr.dTouched, oldD, true)
+	eTouched := scratch(&scr.eTouched, oldE, true)
 	markGroups := func(v *ItemView) {
 		dTouched[v.Slot] = true
 		for _, e := range v.Edges {
@@ -210,9 +256,9 @@ func (p *Prepared) Apply(d Delta) error {
 	for len(p.edgeMembers) < lay.ix.NumEdges() {
 		p.edgeMembers = append(p.edgeMembers, nil)
 	}
-	var appendedD, appendedE []int32
-	dBound := make([]int32, len(p.demandMembers))
-	eBound := make([]int32, len(p.edgeMembers))
+	appendedD, appendedE := scr.appendedD[:0], scr.appendedE[:0]
+	dBound := scratch(&scr.dBound, len(p.demandMembers), false)
+	eBound := scratch(&scr.eBound, len(p.edgeMembers), false)
 	for i := range dBound {
 		dBound[i] = -1
 	}
@@ -240,33 +286,44 @@ func (p *Prepared) Apply(d Delta) error {
 	for _, id := range addSlots {
 		arrive(id)
 	}
-	var tail []int32 // scratch right run for the backward merges
+	tail := scr.tail // scratch right run for the backward merges
 	for _, s := range appendedD {
 		tail = mergeTail(p.demandMembers[s], int(dBound[s]), tail)
 	}
 	for _, e := range appendedE {
 		tail = mergeTail(p.edgeMembers[e], int(eBound[e]), tail)
 	}
+	scr.appendedD, scr.appendedE, scr.tail = appendedD, appendedE, tail
 
 	// Discover the arriving conflict pairs. A mover reuses its old neighbor
 	// set: its new id lands in each surviving neighbor's extras. An added
 	// item scans its (patched) group member lists once with stamp dedup;
 	// pairs among additions are covered by each side's own row build below.
 	// Extras target new ids and collect in ascending arriving-id order.
-	isAdded := make([]bool, newN)
+	isAdded := scratch(&scr.isAdded, newN, true)
 	for _, id := range addSlots {
 		isAdded[id] = true
 	}
-	extras := make([][]int32, newN)
+	// extras entries keep their capacity across Applies: every entry an
+	// Apply touches is recorded in extrasUsed and reset to length 0 once the
+	// rows are patched, so entries are always empty on entry here.
+	extras := scratch(&scr.extras, newN, false)
+	extrasUsed := scr.extrasUsed[:0]
+	addExtra := func(m, v int32) {
+		if len(extras[m]) == 0 {
+			extrasUsed = append(extrasUsed, m)
+		}
+		extras[m] = append(extras[m], v)
+	}
 	for i, m := range movers {
 		nm := int32(free[i])
 		for _, w := range p.adj[m] {
 			if nw := renum[w]; nw >= 0 {
-				extras[nw] = append(extras[nw], nm)
+				addExtra(int32(nw), nm)
 			}
 		}
 	}
-	stamp := make([]int32, newN)
+	stamp := scratch(&scr.stamp, newN, false)
 	for i := range stamp {
 		stamp[i] = -1
 	}
@@ -276,14 +333,14 @@ func (p *Prepared) Apply(d Delta) error {
 		for _, m := range p.demandMembers[v.Slot] {
 			if m != id32 && !isAdded[m] && stamp[m] != id32 {
 				stamp[m] = id32
-				extras[m] = append(extras[m], id32)
+				addExtra(m, id32)
 			}
 		}
 		for _, e := range v.Edges {
 			for _, m := range p.edgeMembers[e] {
 				if m != id32 && !isAdded[m] && stamp[m] != id32 {
 					stamp[m] = id32
-					extras[m] = append(extras[m], id32)
+					addExtra(m, id32)
 				}
 			}
 		}
@@ -296,7 +353,7 @@ func (p *Prepared) Apply(d Delta) error {
 	// extras: O(degree), no sort, no group rescan. Only arriving additions
 	// build their rows from the member lists. dirtyNew doubles as the
 	// churn-reach set for shard reuse.
-	dirtyNew := make([]bool, newN)
+	dirtyNew := scratch(&scr.dirtyNew, newN, true)
 	newAdj := make([][]int, newN)
 	for w := 0; w < n; w++ {
 		nw := renum[w]
@@ -332,7 +389,7 @@ func (p *Prepared) Apply(d Delta) error {
 		}
 		newAdj[nw] = row
 	}
-	var buf []int
+	buf := scr.buf
 	for _, id := range addSlots {
 		dirtyNew[id] = true
 		v := &lay.views[id]
@@ -356,6 +413,11 @@ func (p *Prepared) Apply(d Delta) error {
 		newAdj[id] = slices.Clone(buf)
 	}
 	p.adj = newAdj
+	scr.buf = buf
+	for _, m := range extrasUsed {
+		extras[m] = extras[m][:0]
+	}
+	scr.extrasUsed = extrasUsed
 
 	// Invalidate the lazy shard decomposition, remembering which items the
 	// churn reached so the next ensureShards can keep untouched shards.

@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"treesched/internal/dual"
 	"treesched/internal/mis"
@@ -132,15 +133,26 @@ type state struct {
 	plan  *Plan
 	adj   [][]int // conflict adjacency over items
 	core  *Core
-	// streams holds one splitmix64 priority stream per owner slot, seeded
-	// exactly as the dist nodes seed theirs (NewStream).
+	scr   *solveScratch
+	stack []step
+	trace *Trace
+	steps int
+}
+
+// solveScratch bundles a state's reusable per-run buffers, split out so the
+// serial path and the shard workers can pool them across runs instead of
+// reallocating per solve. Nothing in a scratch outlives the run that used
+// it: everything a Result (or the warm cache) retains — duals, stacks,
+// traces — is allocated elsewhere, so returning a scratch to the pool while
+// the Result lives is safe.
+type solveScratch struct {
+	// streams holds one splitmix64 priority stream per owner slot, re-seeded
+	// by newState exactly as the dist nodes seed theirs (NewStream).
 	streams []Stream
-	stack   []step
-	trace   *Trace
-	steps   int
 	// index is the scratch used by subgraph to relabel item ids to dense
 	// positions within the current unsatisfied set; -1 = absent. It replaces
-	// a per-step map rebuild on the hot path.
+	// a per-step map rebuild on the hot path. Invariant between uses: all
+	// entries are -1 (subgraph resets the entries it touched on exit).
 	index []int
 	// sub is the reusable subgraph adjacency backing; sub[i] slices are
 	// truncated and refilled each step.
@@ -150,6 +162,10 @@ type state struct {
 	uBuf    []int
 	slotBuf []int
 }
+
+// scratchPool recycles solve scratch across runs; steady-state churn/serve
+// rounds allocate no per-step buffers at all.
+var scratchPool = sync.Pool{New: func() any { return &solveScratch{} }}
 
 // step is one pushed independent set with its schedule stamp.
 type step struct {
@@ -213,8 +229,14 @@ func Run(items []Item, cfg Config) (*Result, error) {
 
 // newState assembles run state over a prepared plan, conflict adjacency and
 // dense layout. The layout is read-only: concurrent states (the Solver's
-// cached Prepared, shard workers) may share one.
-func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int) *state {
+// cached Prepared, shard workers) may share one. scr may be a pooled
+// scratch (nil allocates a private one); its streams are re-seeded here, so
+// a recycled scratch starts every run from the same stream positions a
+// fresh one would.
+func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, scr *solveScratch) *state {
+	if scr == nil {
+		scr = &solveScratch{}
+	}
 	st := &state{
 		items: items,
 		lay:   lay,
@@ -222,10 +244,14 @@ func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int) *s
 		plan:  plan,
 		adj:   adj,
 		core:  lay.newCore(cfg.Mode),
+		scr:   scr,
 	}
-	st.streams = make([]Stream, len(lay.ownerID))
+	if cap(scr.streams) < len(lay.ownerID) {
+		scr.streams = make([]Stream, len(lay.ownerID))
+	}
+	scr.streams = scr.streams[:len(lay.ownerID)]
 	for s, owner := range lay.ownerID {
-		st.streams[s] = NewStream(cfg.Seed, owner)
+		scr.streams[s] = NewStream(cfg.Seed, owner)
 	}
 	if cfg.RecordTrace {
 		st.trace = &Trace{}
@@ -236,7 +262,9 @@ func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int) *s
 // runSerial executes both phases over one conflict graph. The sharded
 // pipeline (RunParallel) runs firstPhase per component instead and merges.
 func (p *Prepared) runSerial(cfg Config, plan *Plan) (*Result, error) {
-	st := newState(p.items, p.lay, cfg, plan, p.adj)
+	scr := scratchPool.Get().(*solveScratch)
+	defer scratchPool.Put(scr)
+	st := newState(p.items, p.lay, cfg, plan, p.adj, scr)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	res.Delta = MaxCritical(p.items)
 	if err := st.firstPhase(res); err != nil {
@@ -372,14 +400,14 @@ func (st *state) firstPhase(res *Result) error {
 }
 
 func (st *state) unsatisfied(members []int, thresh float64) []int {
-	u := st.uBuf[:0]
+	u := st.scr.uBuf[:0]
 	views := st.lay.views
 	for _, id := range members {
 		if st.core.Unsatisfied(&views[id], thresh) {
 			u = append(u, id)
 		}
 	}
-	st.uBuf = u
+	st.scr.uBuf = u
 	return u
 }
 
@@ -394,43 +422,43 @@ func (st *state) independentSet(u []int) ([]int, int) {
 	// The engine controls both sides of the Drawer contract, so passing
 	// slots instead of external owner ids is invisible to mis — and the
 	// streams themselves are seeded from the external ids, matching dist.
-	slots := st.slotBuf[:0]
+	slots := st.scr.slotBuf[:0]
 	for _, id := range u {
 		slots = append(slots, int(st.lay.ownerSlot[id]))
 	}
-	st.slotBuf = slots
+	st.scr.slotBuf = slots
 	in, iters := mis.Luby(slots, sub, st.draw)
 	return pick(u, in), iters
 }
 
 // subgraph restricts the conflict adjacency to u, relabeling to 0..len(u)-1.
 // It reuses a dense item-id → position scratch instead of rebuilding a map
-// every step; the scratch is reset on exit so later steps see a clean slate.
+// every step; the scratch is reset on exit so later steps (and later runs
+// recycling the same pooled scratch) see a clean slate.
 func (st *state) subgraph(u []int) [][]int {
-	if st.index == nil {
-		st.index = make([]int, len(st.items))
-		for i := range st.index {
-			st.index[i] = -1
-		}
+	scr := st.scr
+	for len(scr.index) < len(st.items) {
+		scr.index = append(scr.index, -1)
 	}
 	for i, id := range u {
-		st.index[id] = i
+		scr.index[id] = i
 	}
-	if cap(st.sub) < len(u) {
-		st.sub = make([][]int, len(u))
+	if cap(scr.sub) < len(u) {
+		scr.sub = make([][]int, len(u))
 	}
-	sub := st.sub[:len(u)]
+	sub := scr.sub[:len(u)]
+	scr.sub = sub
 	for i, id := range u {
 		row := sub[i][:0]
 		for _, w := range st.adj[id] {
-			if j := st.index[w]; j >= 0 {
+			if j := scr.index[w]; j >= 0 {
 				row = append(row, j)
 			}
 		}
 		sub[i] = row
 	}
 	for _, id := range u {
-		st.index[id] = -1
+		scr.index[id] = -1
 	}
 	return sub
 }
@@ -449,7 +477,7 @@ func pick(u []int, in []bool) []int {
 // distributed protocol seeds processor streams identically (NewStream over
 // the external owner id), so draws coincide.
 func (st *state) draw(slot int) float64 {
-	return st.streams[slot].Float64()
+	return st.scr.streams[slot].Float64()
 }
 
 func (st *state) raise(id int) {

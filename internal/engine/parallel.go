@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"math"
 	"slices"
 	"sync"
+
+	"treesched/internal/dual"
 )
 
 // This file implements the sharded parallel solve pipeline. The conflict
@@ -26,7 +29,10 @@ import (
 //     dual assignment (disjoint α and β, copied into the global dense
 //     layout by external key) yields the same λ and bound.
 //
-// The result is bit-identical to Run for every worker count.
+// The result is bit-identical to Run for every worker count. Because each
+// shard's execution is self-contained, it is also replayable: with the
+// warm-start cache enabled (warm.go), shards untouched by churn reuse their
+// previous outcome instead of re-running the schedule.
 
 // ConflictComponents returns the connected components of a conflict
 // adjacency (as produced by BuildConflicts): each component is an ascending
@@ -63,11 +69,30 @@ func ConflictComponents(adj [][]int) [][]int {
 	return out
 }
 
-// shardRun is one conflict component's first-phase execution.
-type shardRun struct {
-	pre *preShard
-	st  *state
-	res *Result
+// shardOut is one conflict component's completed first-phase execution:
+// exactly what mergeShards consumes and nothing transient — the raise stack
+// with schedule stamps, the shard-local dense dual assignment, the trace
+// (when recorded), and the per-shard counters. The warm-start cache retains
+// these across solves and replays them verbatim for untouched components,
+// so a shardOut must never alias pooled scratch.
+type shardOut struct {
+	pre           *preShard
+	stack         []step
+	dual          *dual.Assignment
+	trace         *Trace
+	lambda        float64 // min(1, min LHS/p) over this shard's items
+	raised        int
+	maxStageSteps int
+
+	// Merge translations, computed once when the shard runs and reused by
+	// every replay: global item ids per stack position, and the global
+	// demand slot / edge index for each shard-local one. Valid for the
+	// Prepared's lifetime because interning is append-only — Apply never
+	// renumbers existing slots — and a component's global ids are stable
+	// for as long as its preShard (and hence this shardOut) is reused.
+	gids  [][]int
+	gslot []int32
+	gedge []int32
 }
 
 // RunParallel executes the same algorithm as Run, sharded over the
@@ -78,54 +103,140 @@ func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
 	return PrepareWorkers(items, workers).RunParallel(cfg, workers)
 }
 
-// RunParallel executes the sharded pipeline over the prepared state.
+// RunParallel executes the sharded pipeline over the prepared state. With
+// the warm-start cache enabled it also shards at workers ≤ 1 (replay needs
+// per-component outcomes), except on instances known to be one single
+// component, where sharding can never pay for itself.
 func (p *Prepared) RunParallel(cfg Config, workers int) (*Result, error) {
 	plan, err := PlanFor(p.items, &cfg) // resolves ξ and defaults globally
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 1 {
+	warm := p.warm.on()
+	if workers <= 1 && (!warm || p.knownSingleComponent()) {
+		p.warm.noteCold()
 		return p.runSerial(cfg, plan)
 	}
 	p.ensureShards()
 	if len(p.comps) <= 1 {
 		// One giant component: sharding cannot help, but the parallel
 		// conflict build in PrepareWorkers already did its part.
+		p.warm.noteCold()
 		return p.runSerial(cfg, plan)
 	}
+	outs, err := p.runShards(cfg, plan, workers, warm)
+	if err != nil {
+		return nil, err
+	}
+	return p.mergeShards(cfg, plan, outs)
+}
 
-	// First phase per shard on the pool. Every shard runs under the global
-	// plan: identical ξ-ladder and step cap, epochs without members skip.
-	runs := make([]*shardRun, len(p.shards))
-	errs := make([]error, len(p.shards))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	pool := min(workers, len(p.shards))
-	for w := 0; w < pool; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				pre := p.shards[s]
-				run := &shardRun{pre: pre}
-				run.st = newState(pre.items, pre.lay, cfg, plan, pre.adj)
-				run.res = &Result{Dual: run.st.core.Dual, Trace: run.st.trace}
-				errs[s] = run.st.firstPhase(run.res)
-				runs[s] = run
+// runShard executes one component's first phase over (pooled) scratch and
+// captures its outcome, including the merge translations into the global
+// layout (glay is only read, so shards may build them concurrently).
+func runShard(pre *preShard, cfg Config, plan *Plan, scr *solveScratch, glay *layout) (*shardOut, error) {
+	st := newState(pre.items, pre.lay, cfg, plan, pre.adj, scr)
+	res := &Result{Dual: st.core.Dual, Trace: st.trace}
+	if err := st.firstPhase(res); err != nil {
+		return nil, err
+	}
+	out := &shardOut{
+		pre:           pre,
+		stack:         st.stack,
+		dual:          st.core.Dual,
+		trace:         st.trace,
+		lambda:        st.core.lambdaOnly(pre.lay.views),
+		raised:        res.Raised,
+		maxStageSteps: res.MaxStageSteps,
+	}
+	out.gids = make([][]int, len(out.stack))
+	for pos := range out.stack {
+		ids := make([]int, len(out.stack[pos].items))
+		for i, id := range out.stack[pos].items {
+			ids[i] = pre.comp[id]
+		}
+		out.gids[pos] = ids
+	}
+	six := pre.lay.ix
+	out.gslot = make([]int32, six.NumDemands())
+	for s := range out.gslot {
+		t, ok := glay.ix.DemandSlot(six.DemandID(int32(s)))
+		if !ok {
+			panic("engine: shard demand missing from the global index")
+		}
+		out.gslot[s] = t
+	}
+	out.gedge = make([]int32, six.NumEdges())
+	for i := range out.gedge {
+		t, ok := glay.ix.EdgeSlot(six.EdgeKey(int32(i)))
+		if !ok {
+			panic("engine: shard edge missing from the global index")
+		}
+		out.gedge[i] = t
+	}
+	return out, nil
+}
+
+// runShards produces every shard's first-phase outcome: cached outcomes are
+// replayed for shards whose preShard survived since the last solve under
+// the same configuration, the rest run on a worker pool with per-worker
+// pooled scratch. When warm, the full outcome set is recorded for the next
+// round.
+func (p *Prepared) runShards(cfg Config, plan *Plan, workers int, warm bool) ([]*shardOut, error) {
+	var key warmKey
+	var cached map[*preShard]*shardOut
+	if warm {
+		key = warmKeyFor(&cfg, plan)
+		cached = p.warm.lookup(key)
+	}
+	outs := make([]*shardOut, len(p.shards))
+	todo := make([]int, 0, len(p.shards))
+	for s, pre := range p.shards {
+		if out := cached[pre]; out != nil {
+			outs[s] = out
+			continue
+		}
+		todo = append(todo, s)
+	}
+
+	if len(todo) > 0 {
+		errs := make([]error, len(todo))
+		if pool := min(workers, len(todo)); pool <= 1 {
+			scr := scratchPool.Get().(*solveScratch)
+			for i, s := range todo {
+				outs[s], errs[i] = runShard(p.shards[s], cfg, plan, scr, p.lay)
 			}
-		}()
-	}
-	for s := range p.shards {
-		work <- s
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			scratchPool.Put(scr)
+		} else {
+			work := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < pool; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					scr := scratchPool.Get().(*solveScratch)
+					defer scratchPool.Put(scr)
+					for i := range work {
+						outs[todo[i]], errs[i] = runShard(p.shards[todo[i]], cfg, plan, scr, p.lay)
+					}
+				}()
+			}
+			for i := range todo {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
-	return p.mergeShards(cfg, plan, runs)
+	if warm {
+		p.warm.record(key, p.shards, outs, len(p.shards)-len(todo))
+	}
+	return outs, nil
 }
 
 // stamped is one shard step tagged with its schedule position.
@@ -136,29 +247,53 @@ type stamped struct {
 	items              []int
 }
 
+// mergeScratch pools mergeShards' transient state: the stamped step
+// collection, the per-group structures, and one shared backing array for
+// the merged step id lists. Nothing in it survives the merge — steps are
+// consumed by the greedy second phase and the per-group records by the
+// trace merge, both inside mergeShards — so steady-state re-merges (the
+// warm replay path runs one every solve) allocate next to nothing.
+type mergeScratch struct {
+	all      []stamped
+	steps    [][]int
+	perStep  [][]stamped
+	misIters []int
+	ids      []int
+}
+
+var mergePool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
 // mergeShards reassembles the serial execution from per-shard first phases.
-func (p *Prepared) mergeShards(cfg Config, plan *Plan, runs []*shardRun) (*Result, error) {
+func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Result, error) {
 	res := &Result{
 		Delta:  MaxCritical(p.items),
 		Epochs: plan.MaxGroup,
 		Stages: plan.Stages,
 	}
 
+	scr := mergePool.Get().(*mergeScratch)
+	defer func() {
+		scr.all = scr.all[:0]
+		scr.steps = scr.steps[:0]
+		scr.perStep = scr.perStep[:0]
+		scr.misIters = scr.misIters[:0]
+		scr.ids = scr.ids[:0]
+		mergePool.Put(scr)
+	}()
+
 	// Collect every shard step with its schedule stamp and global item ids.
-	var all []stamped
-	for s, run := range runs {
-		res.Raised += run.res.Raised
-		if run.res.MaxStageSteps > res.MaxStageSteps {
-			res.MaxStageSteps = run.res.MaxStageSteps
+	all := scr.all[:0]
+	for s, out := range outs {
+		res.Raised += out.raised
+		if out.maxStageSteps > res.MaxStageSteps {
+			res.MaxStageSteps = out.maxStageSteps
 		}
-		for pos, st := range run.st.stack {
-			ids := make([]int, len(st.items))
-			for i, id := range st.items {
-				ids[i] = run.pre.comp[id]
-			}
-			all = append(all, stamped{st.epoch, st.stage, st.iter, s, pos, ids})
+		for pos := range out.stack {
+			st := &out.stack[pos]
+			all = append(all, stamped{st.epoch, st.stage, st.iter, s, pos, out.gids[pos]})
 		}
 	}
+	scr.all = all
 	slices.SortFunc(all, func(a, b stamped) int {
 		if a.epoch != b.epoch {
 			return a.epoch - b.epoch
@@ -174,28 +309,31 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, runs []*shardRun) (*Resul
 
 	// Group equal stamps into global steps: the serial step at a stamp
 	// raises the union of the shard steps there (ids ascending) and spends
-	// max-over-shards Luby iterations electing it.
-	var (
-		steps    [][]int
-		perStep  [][]stamped // contributing shard records, for the trace
-		misIters []int
-	)
+	// max-over-shards Luby iterations electing it. The merged id lists all
+	// live in one pooled backing array (a group's view stays valid when a
+	// later append reallocates it — reuse only converges faster).
+	steps := scr.steps[:0]
+	perStep := scr.perStep[:0] // contributing shard records, for the trace
+	misIters := scr.misIters[:0]
+	idbuf := scr.ids[:0]
 	for i := 0; i < len(all); {
 		j := i
-		var ids []int
+		start := len(idbuf)
 		iters := 0
 		for ; j < len(all) && all[j].epoch == all[i].epoch && all[j].stage == all[i].stage && all[j].iter == all[i].iter; j++ {
-			ids = append(ids, all[j].items...)
-			if it := runs[all[j].shard].st.stack[all[j].pos].misIters; it > iters {
+			idbuf = append(idbuf, all[j].items...)
+			if it := outs[all[j].shard].stack[all[j].pos].misIters; it > iters {
 				iters = it
 			}
 		}
+		ids := idbuf[start:]
 		slices.Sort(ids)
 		steps = append(steps, ids)
 		perStep = append(perStep, all[i:j])
 		misIters = append(misIters, iters)
 		i = j
 	}
+	scr.steps, scr.perStep, scr.misIters, scr.ids = steps, perStep, misIters, idbuf
 	res.Steps = len(steps)
 	for _, it := range misIters {
 		res.MISIters += it
@@ -206,31 +344,35 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, runs []*shardRun) (*Resul
 	res.Selected, res.Profit = selectGreedyViews(p.lay.views, cfg.Mode, steps,
 		p.lay.ix.NumDemands(), p.lay.ix.NumEdges())
 
-	// Merge the disjoint dual assignments into the global dense layout by
-	// external key (components partition demands and edges, so every global
-	// slot is written by at most one shard) and score them globally.
+	// Merge the disjoint dual assignments into the global dense layout
+	// (components partition demands and edges, so every global slot is
+	// written by at most one shard) through each shard's cached slot
+	// translations, and score them globally.
 	core := p.lay.newCore(cfg.Mode)
-	for _, run := range runs {
-		d := run.st.core.Dual
-		ix := d.Index()
-		for s := 0; s < ix.NumDemands(); s++ {
-			if v := d.Alpha(int32(s)); v != 0 {
-				core.Dual.AddAlphaOf(ix.DemandID(int32(s)), v)
-			}
-		}
-		for i := 0; i < ix.NumEdges(); i++ {
-			if v := d.Beta(int32(i)); v != 0 {
-				core.Dual.AddBetaOf(ix.EdgeKey(int32(i)), v)
-			}
-		}
+	for _, out := range outs {
+		core.Dual.MergeSlots(out.dual, out.gslot, out.gedge)
 	}
 	res.Dual = core.Dual
 	if len(p.items) > 0 {
-		res.Lambda, res.Bound = core.lambdaBound(p.lay.views)
+		// λ is a min — order-independent and arithmetic-free — so the min of
+		// the cached per-shard minima is bitwise the serial global λ, and warm
+		// replays skip the full constraint scan.
+		lambda := 1.0
+		for _, out := range outs {
+			if out.lambda < lambda {
+				lambda = out.lambda
+			}
+		}
+		res.Lambda = lambda
+		if lambda <= 0 {
+			res.Bound = math.Inf(1)
+		} else {
+			res.Bound = core.Dual.Value() / lambda
+		}
 	}
 
 	if cfg.RecordTrace {
-		res.Trace = mergeTraces(runs, perStep)
+		res.Trace = mergeTraces(outs, perStep)
 	}
 	return res, nil
 }
@@ -238,16 +380,16 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, runs []*shardRun) (*Resul
 // mergeTraces rebuilds the serial raise trace: shard events carry
 // shard-local step indices; the merged trace renumbers them to global step
 // indices and interleaves same-step raises in ascending item order.
-func mergeTraces(runs []*shardRun, perStep [][]stamped) *Trace {
+func mergeTraces(outs []*shardOut, perStep [][]stamped) *Trace {
 	// Group each shard's events by local step index (events are appended in
 	// step order, so the grouping is a single scan).
-	events := make([]map[int][]RaiseEvent, len(runs))
-	for s, run := range runs {
+	events := make([]map[int][]RaiseEvent, len(outs))
+	for s, out := range outs {
 		events[s] = make(map[int][]RaiseEvent)
-		if run.st.trace == nil {
+		if out.trace == nil {
 			continue
 		}
-		for _, ev := range run.st.trace.Events {
+		for _, ev := range out.trace.Events {
 			events[s][ev.Step] = append(events[s][ev.Step], ev)
 		}
 	}
@@ -258,7 +400,7 @@ func mergeTraces(runs []*shardRun, perStep [][]stamped) *Trace {
 			for _, ev := range events[rec.shard][rec.pos+1] {
 				evs = append(evs, RaiseEvent{
 					Step:  g + 1,
-					Item:  runs[rec.shard].pre.comp[ev.Item],
+					Item:  outs[rec.shard].pre.comp[ev.Item],
 					Delta: ev.Delta,
 				})
 			}

@@ -90,6 +90,14 @@ type Prepared struct {
 	touched     []bool // items whose row/content/id changed since then
 	comps       [][]int
 	shards      []*preShard
+
+	// warm is the per-component outcome cache of the sharded pipeline
+	// (warm.go); off unless EnableWarmStart was called.
+	warm warmState
+
+	// applyScr is Apply's pooled bookkeeping (delta.go); lazily allocated on
+	// the first Apply and reused since Applies never overlap.
+	applyScr *applyScratch
 }
 
 // preShard is one conflict component relabeled to dense shard-local ids.
@@ -149,7 +157,12 @@ func (p *Prepared) ensureShards() {
 	if p.shardsBuilt && !p.shardsStale {
 		return
 	}
-	comps := ConflictComponents(p.adj)
+	var comps [][]int
+	if p.shardsStale && len(p.touched) == len(p.adj) {
+		comps = refreshComponents(p.adj, p.comps, p.touched)
+	} else {
+		comps = ConflictComponents(p.adj)
+	}
 	var reusable map[int]*preShard // previous shards by smallest member id
 	if p.shardsStale && len(p.shards) > 0 {
 		reusable = make(map[int]*preShard, len(p.shards))
@@ -193,6 +206,78 @@ func (p *Prepared) ensureShards() {
 		sh.lay = buildLayout(sh.items)
 		p.shards[s] = sh
 	}
+}
+
+// knownSingleComponent reports whether the last shard build found at most
+// one conflict component, without refreshing a stale decomposition. It is a
+// heuristic gate for the warm path at workers ≤ 1: a contended instance
+// whose items all conflict stays one component across churn, and paying a
+// fresh component decomposition every round just to discover that again
+// would regress the serial hot path. The answer may be stale after an
+// Apply — the cost is only a missed warm opportunity, never a wrong result,
+// because the serial engine is exact on any instance.
+func (p *Prepared) knownSingleComponent() bool {
+	p.shardMu.Lock()
+	defer p.shardMu.Unlock()
+	return p.shardsBuilt && len(p.comps) <= 1
+}
+
+// refreshComponents recomputes the component decomposition after churn,
+// keeping the member slice of every previous component no touched item
+// belongs to and traversing only the rest. The reuse is sound for exactly
+// the reason shard reuse is: an untouched item keeps its id and its
+// adjacency row verbatim (Apply marks every rewritten, moved or added row),
+// and conflict edges are symmetric — a new edge reaching into a
+// fully-untouched component would have rewritten the row of the member it
+// lands on, marking it touched. A previous component whose members are all
+// untouched is therefore closed in the new graph with the same member set.
+// A member id at or past len(adj) means that member departed when the set
+// shrank; such components are always re-traversed. The output is identical
+// to ConflictComponents(adj): same partition, ascending members, components
+// ordered by smallest member.
+func refreshComponents(adj [][]int, prev [][]int, touched []bool) [][]int {
+	visited := make([]bool, len(adj))
+	out := make([][]int, 0, len(prev))
+	for _, members := range prev {
+		clean := true
+		for _, id := range members {
+			if id >= len(adj) || touched[id] {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		for _, id := range members {
+			visited[id] = true
+		}
+		out = append(out, members)
+	}
+	var stack []int
+	for v := range adj {
+		if visited[v] {
+			continue
+		}
+		members := []int{v}
+		visited[v] = true
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[x] {
+				if !visited[w] {
+					visited[w] = true
+					members = append(members, w)
+					stack = append(stack, w)
+				}
+			}
+		}
+		slices.Sort(members)
+		out = append(out, members)
+	}
+	slices.SortFunc(out, func(a, b []int) int { return a[0] - b[0] })
+	return out
 }
 
 func anyTouched(touched []bool, comp []int) bool {

@@ -65,6 +65,19 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		func(r *row) string { return fmt.Sprintf("%g", r.snap.Result.Profit) })
 	emit("schedserve_session_reprepares_total", "counter", "session compaction re-prepares",
 		func(r *row) string { return fmt.Sprintf("%d", r.st.Session.Reprepares) })
+	emit("schedserve_session_warm_solves_total", "counter", "solves that replayed at least one cached component",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Session.WarmSolves) })
+	emit("schedserve_session_cold_solves_total", "counter", "solves that replayed nothing (first solves, config changes, serial bypass)",
+		func(r *row) string { return fmt.Sprintf("%d", r.st.Session.ColdSolves) })
+	emit("schedserve_session_warm_hit_ratio", "gauge", "fraction of per-solve component executions replayed from the warm dual cache",
+		func(r *row) string {
+			replayed := r.st.Session.ComponentsReplayed
+			total := replayed + r.st.Session.ComponentsResolved
+			if total == 0 {
+				return "0"
+			}
+			return fmt.Sprintf("%g", float64(replayed)/float64(total))
+		})
 }
 
 // escapeLabel makes a name safe inside a Prometheus label value (the %q

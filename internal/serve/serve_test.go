@@ -403,6 +403,9 @@ func TestWriteMetrics(t *testing.T) {
 		`schedserve_epoch{instance="m1"} 1`,
 		"schedserve_round_latency_seconds_sum",
 		"schedserve_profit",
+		`schedserve_session_warm_solves_total{instance="m1"}`,
+		`schedserve_session_cold_solves_total{instance="m1"}`,
+		`schedserve_session_warm_hit_ratio{instance="m1"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, out)

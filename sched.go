@@ -171,6 +171,13 @@ type Options struct {
 	// shard-independent); 0 or 1 runs the serial engine. Ignored by the
 	// Simulate execution path and the sequential/exact algorithms.
 	Parallelism int
+	// DisableWarmStart turns off the Session warm-start cache. By default a
+	// Session records per-component solve outcomes and replays them for
+	// components untouched by intervening Updates; results are bitwise
+	// identical either way (see doc.go, "Warm-started incremental duals"),
+	// so the switch exists for benchmarking cold baselines and for capping
+	// memory on sessions whose solves are rare relative to churn.
+	DisableWarmStart bool
 }
 
 func (o *Options) normalize() {

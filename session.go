@@ -53,6 +53,10 @@ type Session struct {
 	reprepares  int
 	lastRemoved int
 	lastAdded   int
+	// warmBase accumulates the warm-start counters of Prepared values the
+	// session has retired (compaction re-prepares start a fresh Prepared with
+	// zeroed counters); Stats adds the live Prepared's counters on top.
+	warmBase engine.WarmStats
 }
 
 // SessionStats is a snapshot of a session's incremental-state health, for
@@ -79,21 +83,35 @@ type SessionStats struct {
 	// successful Update (zero before the first).
 	LastRemoved int
 	LastAdded   int
+	// Warm-start accounting (always zero with Options.DisableWarmStart):
+	// WarmSolves counts solves that replayed at least one cached component,
+	// ColdSolves the rest, so WarmSolves+ColdSolves == Solves. Components-
+	// Replayed/ComponentsResolved break sharded solves down by component:
+	// replayed from the warm cache versus re-run through the schedule.
+	WarmSolves         int
+	ColdSolves         int
+	ComponentsReplayed int
+	ComponentsResolved int
 }
 
 // Stats reports the session's current incremental-state counters.
 func (sess *Session) Stats() SessionStats {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	w := sess.p.WarmStats()
 	return SessionStats{
-		Live:        len(sess.live),
-		Items:       len(sess.p.Items()),
-		Updates:     sess.updates,
-		Solves:      sess.solves,
-		Accreted:    sess.arrived,
-		Reprepares:  sess.reprepares,
-		LastRemoved: sess.lastRemoved,
-		LastAdded:   sess.lastAdded,
+		Live:               len(sess.live),
+		Items:              len(sess.p.Items()),
+		Updates:            sess.updates,
+		Solves:             sess.solves,
+		Accreted:           sess.arrived,
+		Reprepares:         sess.reprepares,
+		LastRemoved:        sess.lastRemoved,
+		LastAdded:          sess.lastAdded,
+		WarmSolves:         sess.warmBase.WarmSolves + w.WarmSolves,
+		ColdSolves:         sess.warmBase.ColdSolves + w.ColdSolves,
+		ComponentsReplayed: sess.warmBase.ComponentsReplayed + w.ComponentsReplayed,
+		ComponentsResolved: sess.warmBase.ComponentsResolved + w.ComponentsResolved,
 	}
 }
 
@@ -153,6 +171,13 @@ func (s *Solver) Session(in *Instance) (*Session, error) {
 		p:       engine.PrepareWorkers(items, s.opts.Parallelism),
 		live:    make(map[int]bool, len(m.Demands)),
 		next:    len(m.Demands),
+	}
+	if !s.opts.DisableWarmStart {
+		// Sessions re-solve a churning instance, the workload the warm-start
+		// cache exists for: record per-component outcomes and replay them for
+		// components later Updates leave untouched. Solve results are bitwise
+		// unaffected (warm.go documents the invariant).
+		sess.p.EnableWarmStart()
 	}
 	for _, d := range m.Demands {
 		sess.live[d.ID] = true
@@ -245,8 +270,19 @@ func (sess *Session) Update(c Churn) ([]int, error) {
 	if sess.arrived > 2*len(sess.p.Items())+64 {
 		// Compact the accreted stale layout state: re-prepare over the
 		// current (already densely-indexed) items. Solve results are
-		// unaffected — they are a pure function of the item slice.
+		// unaffected — they are a pure function of the item slice. The warm
+		// cache dies with the retired Prepared (its component relabelings are
+		// invalid under the compacted layout), so the next solve runs cold;
+		// fold the retired counters into the session totals first.
+		w := sess.p.WarmStats()
+		sess.warmBase.WarmSolves += w.WarmSolves
+		sess.warmBase.ColdSolves += w.ColdSolves
+		sess.warmBase.ComponentsReplayed += w.ComponentsReplayed
+		sess.warmBase.ComponentsResolved += w.ComponentsResolved
 		sess.p = engine.PrepareWorkers(sess.p.Items(), sess.solver.opts.Parallelism)
+		if !sess.solver.opts.DisableWarmStart {
+			sess.p.EnableWarmStart()
+		}
 		sess.arrived = 0
 		sess.reprepares++
 	}

@@ -299,6 +299,21 @@ func TestSessionUpdateAtomic(t *testing.T) {
 		t.Fatal(err)
 	}
 	beforeStats := sess.Stats()
+	// Since the live set never changes in this test, every further solve
+	// repeats the same warm-start accounting (a full replay or a serial
+	// bypass, depending on the component structure); measure that
+	// steady-state per-solve delta once so the loop can model its
+	// verification solves exactly.
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	perSolve := sess.Stats()
+	perSolve.Solves -= beforeStats.Solves
+	perSolve.WarmSolves -= beforeStats.WarmSolves
+	perSolve.ColdSolves -= beforeStats.ColdSolves
+	perSolve.ComponentsReplayed -= beforeStats.ComponentsReplayed
+	perSolve.ComponentsResolved -= beforeStats.ComponentsResolved
+	beforeStats = sess.Stats()
 
 	good := treesched.NewDemand{U: 0, V: 5, Profit: 2}
 	for name, c := range map[string]treesched.Churn{
@@ -323,7 +338,12 @@ func TestSessionUpdateAtomic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		beforeStats.Solves++ // the verification solve itself
+		// The verification solve itself, including its warm accounting.
+		beforeStats.Solves += perSolve.Solves
+		beforeStats.WarmSolves += perSolve.WarmSolves
+		beforeStats.ColdSolves += perSolve.ColdSolves
+		beforeStats.ComponentsReplayed += perSolve.ComponentsReplayed
+		beforeStats.ComponentsResolved += perSolve.ComponentsResolved
 		if after.Profit != before.Profit || after.DualBound != before.DualBound {
 			t.Fatalf("%s: solve drifted after rejected batch: (%v,%v) -> (%v,%v)",
 				name, before.Profit, before.DualBound, after.Profit, after.DualBound)
@@ -541,5 +561,90 @@ func TestSessionMatchesEngineScratch(t *testing.T) {
 				t.Fatalf("round %d: assignment %d diverged", round, i)
 			}
 		}
+	}
+}
+
+// TestSessionWarmStats pins the session-level warm-start accounting
+// exactly: a cold first solve resolving every component, a steady-state
+// repeat replaying all of them, and a component-local churn round re-running
+// only the touched component. A DisableWarmStart session must report all
+// zeroes for the same sequence.
+func TestSessionWarmStats(t *testing.T) {
+	cfg := workload.TreeConfig{
+		Vertices: 64, Trees: 8, Demands: 48, ProfitRatio: 8,
+		AccessMin: 1, AccessMax: 1, // disjoint fleet: many components
+	}
+	s := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 11, Parallelism: 4})
+	inst := buildInstance(t, cfg, 23)
+	sess, err := s.Session(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, items, err := sess.SolveWithItems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := len(engine.ConflictComponents(engine.BuildConflicts(items)))
+	if comps < 2 {
+		t.Fatalf("fleet instance decomposed into %d components; test needs several", comps)
+	}
+	st := sess.Stats()
+	if st.WarmSolves != 0 || st.ColdSolves != 1 || st.ComponentsReplayed != 0 || st.ComponentsResolved != comps {
+		t.Fatalf("after first solve: %+v, want cold 1 / resolved %d", st, comps)
+	}
+
+	// Steady state: no churn, everything replays.
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.WarmSolves != 1 || st.ColdSolves != 1 || st.ComponentsReplayed != comps || st.ComponentsResolved != comps {
+		t.Fatalf("after repeat solve: %+v, want warm 1 / replayed %d", st, comps)
+	}
+
+	// Component-local churn: retire demand 0 and submit an identical demand
+	// (same endpoints, profit, height and access). The arrival re-uses the
+	// retired item slot and path, so the conflict decomposition is unchanged
+	// and exactly one component — the one whose owner id changed — re-runs.
+	rng := rand.New(rand.NewSource(23))
+	gen, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := gen.Demands[0]
+	if _, err := sess.Update(treesched.Churn{
+		Remove: []int{0},
+		Add:    []treesched.NewDemand{{U: d0.U, V: d0.V, Profit: d0.Profit, Height: d0.Height, Access: d0.Access}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	st = sess.Stats()
+	if st.WarmSolves != 2 || st.ColdSolves != 1 ||
+		st.ComponentsReplayed != comps+(comps-1) || st.ComponentsResolved != comps+1 {
+		t.Fatalf("after local churn: %+v, want warm 2 / replayed %d / resolved %d",
+			st, comps+(comps-1), comps+1)
+	}
+	if st.WarmSolves+st.ColdSolves != st.Solves {
+		t.Fatalf("solves unaccounted: %+v", st)
+	}
+
+	// The cold control: same sequence, warm start disabled.
+	sOff := treesched.NewSolver(treesched.Options{Epsilon: 0.1, Seed: 11, Parallelism: 4, DisableWarmStart: true})
+	sessOff, err := sOff.Session(buildInstance(t, cfg, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sessOff.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = sessOff.Stats()
+	if st.WarmSolves != 0 || st.ColdSolves != 0 || st.ComponentsReplayed != 0 || st.ComponentsResolved != 0 {
+		t.Fatalf("DisableWarmStart session accounted warm state: %+v", st)
 	}
 }

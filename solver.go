@@ -96,6 +96,36 @@ func (s *Solver) CachedArbitrary() int {
 	return s.arbitrary.len()
 }
 
+// CacheCounters is one solver cache's size and lifetime hit/miss counts.
+type CacheCounters struct {
+	Len    int
+	Hits   uint64
+	Misses uint64
+}
+
+// CacheStats reports the effectiveness of the Solver's three preparation
+// caches. A steady-state service should see the Prepared/Arbitrary hit
+// counts track its solve count; a rising miss rate means instances are
+// churning content (or overflowing the LRU bounds) and every such solve
+// pays full preparation — the first place to look when warm-path latency
+// regresses without an algorithmic change.
+type CacheStats struct {
+	Layouts   CacheCounters
+	Prepared  CacheCounters
+	Arbitrary CacheCounters
+}
+
+// CacheStats snapshots the solver's cache counters.
+func (s *Solver) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		Layouts:   s.layouts.counters(),
+		Prepared:  s.prepared.counters(),
+		Arbitrary: s.arbitrary.counters(),
+	}
+}
+
 // Solve runs the configured algorithm on a tree-network instance, reusing
 // cached layered decompositions and prepared item sets for instances solved
 // before. Results are identical to the package-level Solve with the same
@@ -172,9 +202,10 @@ func (s *Solver) unitResultFromPrepared(p *engine.Prepared) (*Result, error) {
 	}
 	items := p.Items()
 	out := &Result{
-		Profit:    res.Profit,
-		DualBound: res.Bound,
-		Guarantee: float64(res.Delta+1) * s.opts.slackFactor(),
+		Profit:      res.Profit,
+		DualBound:   res.Bound,
+		Guarantee:   float64(res.Delta+1) * s.opts.slackFactor(),
+		Assignments: make([]Assignment, 0, len(res.Selected)),
 	}
 	for _, id := range res.Selected {
 		out.Assignments = append(out.Assignments, Assignment{
