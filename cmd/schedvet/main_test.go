@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"treesched/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(true, nil, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+// TestDeterministicSetClean is the CI contract in miniature: the whole
+// deterministic package set must be at zero findings.
+func TestDeterministicSetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data for the deterministic set")
+	}
+	var out, errOut strings.Builder
+	if code := run(false, lint.DetPackages, &out, &errOut); code != 0 {
+		t.Fatalf("schedvet over DetPackages = %d\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(false, []string{"./does/not/exist"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2\n%s%s", code, out.String(), errOut.String())
+	}
+}

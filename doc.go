@@ -268,4 +268,44 @@
 // state) but still counts them; internal/dist's Stats.BusyRounds exposes
 // the rounds that moved messages, and experiment E12 tabulates the
 // decomposition.
+//
+// # Determinism rules: the schedvet static-analysis suite
+//
+// The bitwise guarantee (serial ≡ parallel ≡ distributed ≡ warm-replay)
+// is enforced statically by cmd/schedvet, a multichecker over
+// internal/lint that CI runs at zero tolerance. The deterministic
+// package set — lint.DetPackages, derived from (and meta-tested
+// against) the transitive import closure of the bitwise-equivalence
+// suites in internal/engine, internal/dist and internal/seq — currently
+// comprises decomp, dist, dual, engine, graph, mis, model, seq and
+// simnet. Inside it:
+//
+//   - maprange: no `range` over a map. Go randomizes map iteration
+//     per run, so any order-observing loop (summing float64s, appending
+//     to a slice) silently breaks reproducibility — the PR 3
+//     combinePerResource last-ulp bug. Iterate
+//     slices.Sorted(maps.Keys(m)) instead, or waive a genuinely
+//     commutative loop.
+//   - detsource: no math/rand (v1 or v2), time.Now, time.Since,
+//     os.Getenv/LookupEnv/Environ. Randomness flows through the seeded
+//     splitmix64 engine.Stream; clocks and environment belong to the
+//     layers above the solve path (serve, cmd).
+//
+// Everywhere (any package):
+//
+//   - hotpath: a function whose doc comment carries //schedvet:hot may
+//     not allocate maps, call fmt, defer, or box concrete values into
+//     interfaces — locking in the allocation-free shape of the
+//     solve/merge/Apply loops (PRs 4–6). The raise primitives
+//     (dual.RaiseUnit/RaiseNarrow/AddBeta/MergeSlots), the per-step
+//     scans (state.unsatisfied/subgraph), the greedy second phase, the
+//     shard merge and Prepared.Apply are annotated.
+//   - waiverhygiene: every //schedvet: directive must parse, bind, and
+//     pull its weight. The waiver grammar is
+//     `//schedvet:ok <analyzer> <reason>` on the flagged line or the
+//     line above; a missing reason, an unknown analyzer, or a waiver
+//     that no longer suppresses anything is itself a finding.
+//
+// Run `go run ./cmd/schedvet ./...` before sending a change;
+// CONTRIBUTING.md documents the workflow.
 package treesched

@@ -44,6 +44,8 @@ package dist
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"treesched/internal/engine"
@@ -128,11 +130,7 @@ func buildNodes(items []engine.Item, cfg engine.Config, plan *engine.Plan, budge
 		ownerDemand[it.Owner] = it.Demand
 		byOwner[it.Owner] = append(byOwner[it.Owner], it)
 	}
-	ownerIDs := make([]int, 0, len(byOwner))
-	for o := range byOwner {
-		ownerIDs = append(ownerIDs, o)
-	}
-	sort.Ints(ownerIDs)
+	ownerIDs := slices.Sorted(maps.Keys(byOwner))
 	owners := make(map[int]int, len(ownerIDs)) // owner id -> node index
 	nodes := make([]*node, len(ownerIDs))
 	for i, o := range ownerIDs {
@@ -165,12 +163,7 @@ func buildTopology(items []engine.Item, owners map[int]int, n int) [][]int {
 	}
 	topology := make([][]int, n)
 	for i, set := range adjSet {
-		lst := make([]int, 0, len(set))
-		for j := range set {
-			lst = append(lst, j)
-		}
-		sort.Ints(lst)
-		topology[i] = lst
+		topology[i] = slices.Sorted(maps.Keys(set))
 	}
 	return topology
 }
@@ -185,11 +178,7 @@ func assemble(items []engine.Item, mode engine.Mode, nodes []*node) ([]int, floa
 			byStep[r.Step] = append(byStep[r.Step], r.Item)
 		}
 	}
-	stepIDs := make([]int, 0, len(byStep))
-	for t := range byStep {
-		stepIDs = append(stepIDs, t)
-	}
-	sort.Ints(stepIDs)
+	stepIDs := slices.Sorted(maps.Keys(byStep))
 	steps := make([][]int, len(stepIDs))
 	for i, t := range stepIDs {
 		sort.Ints(byStep[t])

@@ -2,7 +2,8 @@ package dist
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 
 	"treesched/internal/engine"
 	"treesched/internal/model"
@@ -220,6 +221,7 @@ func (n *node) buildConflicts() {
 			ownEdges[e] = append(ownEdges[e], n.items[i].ID)
 		}
 	}
+	//schedvet:ok maprange per-remote work is independent set inserts into n.conflicts; order never observed
 	for rid, d := range n.remoteDesc {
 		seen := make(map[int]bool)
 		if d.Demand == n.items[0].Demand {
@@ -232,23 +234,20 @@ func (n *node) buildConflicts() {
 				seen[own] = true
 			}
 		}
+		//schedvet:ok maprange boolean set inserts commute; order never observed
 		for own := range seen {
 			n.conflicts[own][rid] = true
 		}
 	}
 	for _, it := range n.items {
 		nodes := make(map[int]bool)
+		//schedvet:ok maprange boolean set inserts commute; order never observed
 		for w := range n.conflicts[it.ID] {
 			if owner, ok := n.remoteOwner[w]; ok {
 				nodes[owner] = true
 			}
 		}
-		tg := make([]int, 0, len(nodes))
-		for id := range nodes {
-			tg = append(tg, id)
-		}
-		sort.Ints(tg)
-		n.targets[it.ID] = tg
+		n.targets[it.ID] = slices.Sorted(maps.Keys(nodes))
 	}
 }
 
@@ -313,6 +312,7 @@ func (n *node) electAndRaise(t int) []simnet.Message {
 	for _, x := range n.live {
 		px := n.drawn[x]
 		wins := true
+		//schedvet:ok maprange pure conjunction over neighbors; early exit cannot change the result
 		for w := range n.conflicts[x] {
 			var pw float64
 			if liveOwn[w] {
@@ -340,6 +340,7 @@ func (n *node) electAndRaise(t int) []simnet.Message {
 		delta := n.core.Raise(n.viewByID(x))
 		n.raises = append(n.raises, raiseRecord{Step: t, Item: x, Delta: delta})
 		eliminated[x] = true
+		//schedvet:ok maprange boolean set inserts commute; order never observed
 		for w := range n.conflicts[x] {
 			if liveOwn[w] {
 				eliminated[w] = true

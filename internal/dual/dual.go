@@ -229,6 +229,8 @@ func (a *Assignment) Beta(i int32) float64 {
 }
 
 // BetaSum returns Σ_{e on path} β(e) over interned edge indices.
+//
+//schedvet:hot
 func (a *Assignment) BetaSum(path []int32) float64 {
 	b := a.beta
 	s := 0.0
@@ -243,12 +245,16 @@ func (a *Assignment) BetaSum(path []int32) float64 {
 // LHS returns the left-hand side of the dual constraint of a demand
 // instance: α(a_d) + coeff·Σ β(e). In the unit-height LP the coefficient is
 // 1; in the arbitrary-height LP it is the instance height h(d).
+//
+//schedvet:hot
 func (a *Assignment) LHS(slot int32, coeff float64, path []int32) float64 {
 	return a.Alpha(slot) + coeff*a.BetaSum(path)
 }
 
 // Satisfied reports whether the instance's dual constraint is ξ-satisfied:
 // LHS ≥ ξ·p(d), with relative tolerance.
+//
+//schedvet:hot
 func (a *Assignment) Satisfied(slot int32, coeff float64, path []int32, xi, profit float64) bool {
 	return a.LHS(slot, coeff, path) >= xi*profit-Tolerance*profit
 }
@@ -276,6 +282,8 @@ func (a *Assignment) growBeta(idxs []int32) {
 // RaiseUnit performs the unit-height raise of §3.2 on the instance with the
 // given demand slot, path and critical edge set π: δ = s/(|π|+1), α += δ and
 // β(e) += δ for e ∈ π. It returns δ. The constraint becomes tight.
+//
+//schedvet:hot
 func (a *Assignment) RaiseUnit(slot int32, profit float64, path, critical []int32) float64 {
 	s := profit - a.LHS(slot, 1, path)
 	if s <= 0 {
@@ -295,6 +303,8 @@ func (a *Assignment) RaiseUnit(slot int32, profit float64, path, critical []int3
 // s = p - (α + h·Σβ), δ = s/(1 + 2h|π|²), α += δ and β(e) += 2|π|δ for
 // e ∈ π. It returns δ. The constraint becomes tight: the LHS gains
 // δ + h·|π|·2|π|δ = s.
+//
+//schedvet:hot
 func (a *Assignment) RaiseNarrow(slot int32, profit, height float64, path, critical []int32) float64 {
 	s := profit - a.LHS(slot, height, path)
 	if s <= 0 {
@@ -313,6 +323,8 @@ func (a *Assignment) RaiseNarrow(slot int32, profit, height float64, path, criti
 
 // AddBeta adds g to β at every index of critical: the β-only replay of a
 // raise announced by another processor.
+//
+//schedvet:hot
 func (a *Assignment) AddBeta(critical []int32, g float64) {
 	a.growBeta(critical)
 	for _, i := range critical {
@@ -358,6 +370,8 @@ func (a *Assignment) AddBetaOf(k model.EdgeKey, v float64) {
 // merges disjoint per-component assignments this way — the tables are built
 // once when a component last ran and stay valid because interning is
 // append-only, replacing the per-entry key lookups of AddAlphaOf/AddBetaOf.
+//
+//schedvet:hot
 func (a *Assignment) MergeSlots(src *Assignment, slotMap, edgeMap []int32) {
 	for s, v := range src.alpha {
 		if v != 0 {

@@ -125,9 +125,11 @@ func (ap *ArbitraryPrepared) RunParallel(cfg Config, workers int) (*ArbitraryRes
 // resource set in map order made repeated solves differ in the last ulp.
 func combinePerResource(wideByRes, narrowByRes map[int][]int, profitW, profitN map[int]float64) ([]int, float64) {
 	resources := make(map[int]bool)
+	//schedvet:ok maprange set-insert commutes; the union is iterated sorted below
 	for r := range wideByRes {
 		resources[r] = true
 	}
+	//schedvet:ok maprange set-insert commutes; the union is iterated sorted below
 	for r := range narrowByRes {
 		resources[r] = true
 	}

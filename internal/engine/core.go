@@ -94,6 +94,8 @@ func (c *Core) Coeff(v *ItemView) float64 {
 
 // Unsatisfied reports whether the view's dual constraint is not yet
 // thresh-satisfied: α(a_d) + coeff·Σ_{e∈path} β(e) < thresh·p(d).
+//
+//schedvet:hot
 func (c *Core) Unsatisfied(v *ItemView, thresh float64) bool {
 	return !c.Dual.Satisfied(v.Slot, c.Coeff(v), v.Edges, thresh, v.Profit)
 }
@@ -101,6 +103,8 @@ func (c *Core) Unsatisfied(v *ItemView, thresh float64) bool {
 // Raise performs the mode's raise rule on the view and returns δ. The
 // owner's α and the β of the item's critical edges are updated in place;
 // the constraint becomes tight.
+//
+//schedvet:hot
 func (c *Core) Raise(v *ItemView) float64 {
 	if c.Mode == Narrow {
 		return c.Dual.RaiseNarrow(v.Slot, v.Profit, v.Height, v.Edges, v.Critical)
@@ -111,6 +115,8 @@ func (c *Core) Raise(v *ItemView) float64 {
 // ApplyRaise replays a raise of δ announced by another processor whose
 // item has the given (interned) critical set: β(e) += BetaGain for each
 // critical edge. The raiser's α is private to its owner and is not tracked.
+//
+//schedvet:hot
 func (c *Core) ApplyRaise(critical []int32, delta float64) {
 	c.Dual.AddBeta(critical, BetaGain(c.Mode, len(critical), delta))
 }
@@ -119,6 +125,8 @@ func (c *Core) ApplyRaise(critical []int32, delta float64) {
 // under the unit rule, 2|π|δ under the narrow rule. It mirrors the
 // increments of dual.RaiseUnit and dual.RaiseNarrow exactly so that remote
 // β copies match the raiser's bitwise.
+//
+//schedvet:hot
 func BetaGain(mode Mode, criticalLen int, delta float64) float64 {
 	if mode == Narrow {
 		return 2 * float64(criticalLen) * delta
@@ -205,6 +213,8 @@ func SelectGreedy(items []Item, mode Mode, steps [][]int) (selected []int, profi
 // capacity live in flat slices indexed by dual slots. Bit-identical to the
 // key-addressed form (same pop order, same capacity sums in the same
 // accumulation order, same tie handling).
+//
+//schedvet:hot
 func selectGreedyViews(views []ItemView, mode Mode, steps [][]int, numSlots, numEdges int) (selected []int, profit float64) {
 	usedDemand := make([]bool, numSlots)
 	usage := make([]float64, numEdges)

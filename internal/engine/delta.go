@@ -97,18 +97,10 @@ func scratch[T any](buf *[]T, n int, reset bool) []T {
 	return s
 }
 
-// Apply updates the prepared state to the post-churn item set. On error the
-// Prepared is unchanged. The resulting state is equivalent to
-// PrepareWorkers over the resulting Items() slice: identical adjacency,
-// identical components, and bitwise-identical solve results at every worker
-// count.
-func (p *Prepared) Apply(d Delta) error {
-	if p.applyScr == nil {
-		p.applyScr = new(applyScratch)
-	}
-	scr := p.applyScr
-	n := len(p.items)
-	removed := scratch(&scr.removed, n, true)
+// checkDelta validates a delta against the current item count and marks
+// each removed id in the scratch — the cold prologue of Apply, kept out
+// of the hot body so the formatting error paths stay off the hot path.
+func checkDelta(d Delta, n int, removed []bool) error {
 	for _, id := range d.Remove {
 		if id < 0 || id >= n {
 			return fmt.Errorf("engine: delta removes unknown item %d (have %d)", id, n)
@@ -132,6 +124,26 @@ func (p *Prepared) Apply(d Delta) error {
 		if !(it.Height > 0) || it.Height > 1 {
 			return fmt.Errorf("engine: delta adds item %d with height %v", i, it.Height)
 		}
+	}
+	return nil
+}
+
+// Apply updates the prepared state to the post-churn item set. On error the
+// Prepared is unchanged. The resulting state is equivalent to
+// PrepareWorkers over the resulting Items() slice: identical adjacency,
+// identical components, and bitwise-identical solve results at every worker
+// count.
+//
+//schedvet:hot
+func (p *Prepared) Apply(d Delta) error {
+	if p.applyScr == nil {
+		p.applyScr = new(applyScratch)
+	}
+	scr := p.applyScr
+	n := len(p.items)
+	removed := scratch(&scr.removed, n, true)
+	if err := checkDelta(d, n, removed); err != nil {
+		return err
 	}
 	newN := n - len(d.Remove) + len(d.Add)
 	lay := p.lay

@@ -399,6 +399,8 @@ func (st *state) firstPhase(res *Result) error {
 	return nil
 }
 
+//
+//schedvet:hot
 func (st *state) unsatisfied(members []int, thresh float64) []int {
 	u := st.scr.uBuf[:0]
 	views := st.lay.views
@@ -435,6 +437,8 @@ func (st *state) independentSet(u []int) ([]int, int) {
 // It reuses a dense item-id → position scratch instead of rebuilding a map
 // every step; the scratch is reset on exit so later steps (and later runs
 // recycling the same pooled scratch) see a clean slate.
+//
+//schedvet:hot
 func (st *state) subgraph(u []int) [][]int {
 	scr := st.scr
 	for len(scr.index) < len(st.items) {
@@ -476,10 +480,14 @@ func pick(u []int, in []bool) []int {
 // draw returns the next priority from the stream at an owner slot. The
 // distributed protocol seeds processor streams identically (NewStream over
 // the external owner id), so draws coincide.
+//
+//schedvet:hot
 func (st *state) draw(slot int) float64 {
 	return st.scr.streams[slot].Float64()
 }
 
+//
+//schedvet:hot
 func (st *state) raise(id int) {
 	delta := st.core.Raise(&st.lay.views[id])
 	if st.trace != nil {

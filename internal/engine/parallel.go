@@ -264,6 +264,8 @@ type mergeScratch struct {
 var mergePool = sync.Pool{New: func() any { return new(mergeScratch) }}
 
 // mergeShards reassembles the serial execution from per-shard first phases.
+//
+//schedvet:hot
 func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Result, error) {
 	res := &Result{
 		Delta:  MaxCritical(p.items),
@@ -272,6 +274,7 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Resul
 	}
 
 	scr := mergePool.Get().(*mergeScratch)
+	//schedvet:ok hotpath one pool-restore defer per merge, not per item; keeps the scratch returned on every error path
 	defer func() {
 		scr.all = scr.all[:0]
 		scr.steps = scr.steps[:0]

@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+
+	"treesched/internal/lint"
+)
+
+// TestDetPackagesMatchEquivalenceClosure is the meta-test keeping the
+// enforced set honest: DetPackages must be exactly the module-local
+// transitive import closure of the packages hosting the
+// bitwise-equivalence suites. A new package wired into the solve path
+// shows up in the closure and fails this test until it is added to
+// DetPackages — so it cannot silently escape maprange/detsource
+// enforcement — and a package that drops off the solve path must be
+// removed, so the set cannot accrete stale entries either.
+func TestDetPackagesMatchEquivalenceClosure(t *testing.T) {
+	args := append([]string{"list", "-deps", "--"}, lint.EquivalenceSuiteHosts...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		t.Fatalf("go list -deps: %v", err)
+	}
+	var derived []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if strings.HasPrefix(line, "treesched/") || line == "treesched" {
+			derived = append(derived, line)
+		}
+	}
+	slices.Sort(derived)
+	derived = slices.Compact(derived)
+
+	want := slices.Clone(lint.DetPackages)
+	slices.Sort(want)
+	if !slices.Equal(derived, want) {
+		t.Errorf("DetPackages drifted from the equivalence-suite closure\nclosure of %v:\n  %s\nDetPackages:\n  %s",
+			lint.EquivalenceSuiteHosts,
+			strings.Join(derived, "\n  "),
+			strings.Join(want, "\n  "))
+	}
+}
+
+// suiteMarker matches test code that asserts cross-execution or
+// reference equivalence: fuzz targets, bit-identity property tests, and
+// brute-force reference comparisons.
+var suiteMarker = regexp.MustCompile(`func Fuzz|BitIdentical|Equivalence|bruteRef`)
+
+// TestEquivalenceHostsHostSuites guards the other direction: every
+// package DetPackages is derived from must actually contain an
+// equivalence suite, so the closure's roots stay meaningful.
+func TestEquivalenceHostsHostSuites(t *testing.T) {
+	for _, host := range lint.EquivalenceSuiteHosts {
+		out, err := exec.Command("go", "list", "-f", "{{.Dir}}", host).Output()
+		if err != nil {
+			t.Fatalf("go list %s: %v", host, err)
+		}
+		dir := strings.TrimSpace(string(out))
+		matches, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range matches {
+			data, err := os.ReadFile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if suiteMarker.Match(data) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s is listed as an equivalence-suite host but no *_test.go matches %v", host, suiteMarker)
+		}
+	}
+}
+
+// TestDetPackagesSorted keeps the declaration canonical so diffs stay
+// one-line.
+func TestDetPackagesSorted(t *testing.T) {
+	if !slices.IsSorted(lint.DetPackages) {
+		t.Errorf("DetPackages must be sorted: %v", lint.DetPackages)
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detsource bans ambient nondeterminism sources in deterministic
+// packages: pseudo-randomness not derived from the instance seed
+// (math/rand, math/rand/v2), wall-clock reads (time.Now, time.Since),
+// and process environment (os.Getenv, os.Environ, os.LookupEnv). Any of
+// these on the solve path makes a result irreproducible across runs or
+// hosts; randomness must flow through the seeded splitmix64
+// engine.Stream, and anything time- or environment-shaped belongs in
+// the layers above the deterministic set (serve, cmd).
+var Detsource = &Analyzer{
+	Name:    "detsource",
+	Doc:     "bans math/rand, wall-clock and environment reads in deterministic packages",
+	DetOnly: true,
+	Run:     runDetsource,
+}
+
+// bannedImports maps import paths to the reason they are banned.
+var bannedImports = map[string]string{
+	"math/rand":    "seed-independent randomness; use the seeded engine.Stream (splitmix64) instead",
+	"math/rand/v2": "seed-independent randomness; use the seeded engine.Stream (splitmix64) instead",
+}
+
+// bannedCalls maps package-path.Func to the reason it is banned.
+var bannedCalls = map[string]string{
+	"time.Now":     "wall-clock read; deterministic code may not observe real time",
+	"time.Since":   "wall-clock read; deterministic code may not observe real time",
+	"os.Getenv":    "environment read; results must not depend on ambient process state",
+	"os.LookupEnv": "environment read; results must not depend on ambient process state",
+	"os.Environ":   "environment read; results must not depend on ambient process state",
+}
+
+func runDetsource(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value
+			path = path[1 : len(path)-1] // unquote
+			if why, bad := bannedImports[path]; bad {
+				pass.Reportf(imp, "import of %s: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			qualified := pn.Imported().Path() + "." + sel.Sel.Name
+			if why, bad := bannedCalls[qualified]; bad {
+				pass.Reportf(sel, "%s: %s", qualified, why)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint"
+	"treesched/internal/lint/linttest"
+)
+
+func TestDetsourceGolden(t *testing.T) {
+	linttest.Run(t, "detsource", lint.Detsource)
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath locks in the allocation-free shape of the solve/merge/Apply/
+// warm-replay loops won in PRs 4–6. A function annotated
+//
+//	//schedvet:hot
+//
+// in its doc comment may not, anywhere in its body:
+//
+//   - allocate a map (make(map...) or a map composite literal) — map
+//     allocation and hashing were deliberately engineered out of the
+//     dense hot path;
+//   - call the fmt package — formatting allocates and boxes;
+//   - defer — a defer in a per-item loop costs a frame record per
+//     iteration and hides work at return;
+//   - box a concrete value into an interface (explicit conversion or a
+//     call argument passed to an interface parameter) — boxing
+//     heap-allocates on escape and defeats devirtualization.
+//
+// The annotation is the contract; the analyzer is the enforcement. Cold
+// error paths inside an otherwise-hot function can carry a
+// //schedvet:ok hotpath waiver with a reason.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbids map allocation, fmt, defer, and interface boxing in //schedvet:hot functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, fd := range pass.HotFuncs() {
+		if fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A closure's body executes on its own schedule; the
+				// annotation governs the hot function's own statements.
+				return false
+			case *ast.DeferStmt:
+				pass.Reportf(n, "hot function %s defers; defer costs a frame record per execution", name)
+			case *ast.CompositeLit:
+				if _, ok := coreType(pass.TypeOf(n)).(*types.Map); ok {
+					pass.Reportf(n, "hot function %s allocates a map literal", name)
+				}
+			case *ast.CallExpr:
+				checkHotCall(pass, name, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Conversions: T(x) with T an interface type boxes x.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !isUntypedNil(at) {
+				pass.Reportf(call, "hot function %s boxes %s into %s", name, at, tv.Type)
+			}
+		}
+		return
+	}
+
+	// make(map[...]...) — a builtin, not a conversion.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" && len(call.Args) > 0 {
+				if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok {
+					if _, isMap := coreType(tv.Type).(*types.Map); isMap {
+						pass.Reportf(call, "hot function %s allocates a map with make", name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// fmt calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call, "hot function %s calls fmt.%s; formatting allocates and boxes", name, sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Arguments boxed into interface parameters (including variadic
+	// ...any, the fmt shape).
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg, "hot function %s boxes %s into interface parameter %s", name, at, pt)
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint"
+	"treesched/internal/lint/linttest"
+)
+
+func TestHotpathGolden(t *testing.T) {
+	linttest.Run(t, "hotpath", lint.Hotpath)
+}

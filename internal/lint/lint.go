@@ -1,0 +1,284 @@
+// Package lint is the analysis framework behind cmd/schedvet: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, Diagnostic) sized to this repository's needs.
+//
+// The engine's headline guarantee — serial ≡ parallel ≡ distributed ≡
+// warm-replay, bitwise — is enforced dynamically by the property and fuzz
+// suites, but those can only catch a nondeterministic map iteration or a
+// stray time.Now once a seed happens to trip it. The analyzers in this
+// package turn the invariants into compile-time rules over the
+// deterministic package set (see DetPackages):
+//
+//   - maprange: no `range` over a map in deterministic packages unless the
+//     loop is waived as commutative.
+//   - detsource: no math/rand, time.Now/Since, os.Getenv/Environ or other
+//     ambient state in deterministic packages; randomness flows through
+//     engine.Stream.
+//   - hotpath: functions annotated //schedvet:hot may not allocate maps,
+//     call fmt, defer, or box values into interfaces.
+//   - waiverhygiene: every //schedvet: directive must be well-formed and
+//     every waiver must actually suppress a finding, so suppressions
+//     cannot rot.
+//
+// Waiver grammar (checked by waiverhygiene):
+//
+//	//schedvet:ok <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory: a waiver is a proof obligation ("this loop
+// commutes"), not an off switch.
+//
+//	//schedvet:hot
+//
+// placed in a function's doc comment opts the function into the hotpath
+// analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one schedvet check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in waivers
+	Doc  string // one-paragraph description
+
+	// DetOnly restricts the analyzer to packages in the deterministic set
+	// (Config.DetPackages). Analyzers driven by explicit annotations
+	// (hotpath, waiverhygiene) run everywhere.
+	DetOnly bool
+
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, addressed by source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+
+	directives []*Directive // every //schedvet: comment, in file order
+}
+
+// A Directive is one parsed //schedvet: comment.
+type Directive struct {
+	Pos  token.Position
+	Verb string // "ok", "hot", or the raw verb if unknown
+	// For "ok" waivers:
+	Analyzer string
+	Reason   string
+	Used     bool // set when a diagnostic was suppressed by this waiver
+
+	malformed string // non-empty: why the directive failed to parse
+	attached  bool   // for "hot": directive sits in a FuncDecl doc comment
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at n's position unless a matching waiver
+// (same analyzer, same line or the line above) suppresses it. Waivers
+// that suppress at least one finding are marked used; waiverhygiene
+// flags the rest.
+func (p *Pass) Reportf(n ast.Node, format string, args ...any) {
+	pos := p.Pkg.Fset.Position(n.Pos())
+	if w := p.Pkg.waiverAt(p.Analyzer.Name, pos); w != nil {
+		w.Used = true
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// waiverAt finds an "ok" waiver for analyzer covering the given position:
+// a directive on the same line or the line immediately above, in the same
+// file.
+func (pkg *Package) waiverAt(analyzer string, pos token.Position) *Directive {
+	for _, d := range pkg.directives {
+		if d.Verb != "ok" || d.malformed != "" || d.Analyzer != analyzer {
+			continue
+		}
+		if d.Pos.Filename != pos.Filename {
+			continue
+		}
+		if d.Pos.Line == pos.Line || d.Pos.Line == pos.Line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+// HotFuncs returns the function declarations annotated //schedvet:hot.
+func (p *Pass) HotFuncs() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if verb, _, ok := cutDirective(c.Text); ok && verb == "hot" {
+					out = append(out, fd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+const directivePrefix = "//schedvet:"
+
+// cutDirective splits a //schedvet: comment into verb and rest. Anything
+// from a nested "//" onward is dropped so trailing annotations (the
+// golden suites' `// want` markers) don't leak into the reason.
+func cutDirective(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	verb, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(rest), true
+}
+
+// parseDirectives scans every comment of every file for //schedvet:
+// directives. knownAnalyzers guards waiver targets.
+func (pkg *Package) parseDirectives(known map[string]bool) {
+	for _, f := range pkg.Files {
+		// Hot directives are only recognized in function doc comments;
+		// record which comments those are so stray ones can be flagged.
+		hotDocs := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					hotDocs[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, rest, ok := cutDirective(c.Text)
+				if !ok {
+					continue
+				}
+				d := &Directive{
+					Pos:  pkg.Fset.Position(c.Pos()),
+					Verb: verb,
+				}
+				switch verb {
+				case "ok":
+					an, reason, _ := strings.Cut(rest, " ")
+					d.Analyzer = an
+					d.Reason = strings.TrimSpace(reason)
+					switch {
+					case an == "":
+						d.malformed = "waiver names no analyzer (want //schedvet:ok <analyzer> <reason>)"
+					case !known[an]:
+						d.malformed = fmt.Sprintf("waiver names unknown analyzer %q", an)
+					case d.Reason == "":
+						d.malformed = fmt.Sprintf("waiver for %s has no reason — say why the construct is deterministic", an)
+					}
+				case "hot":
+					d.attached = hotDocs[c]
+					if rest != "" {
+						d.malformed = "hot directive takes no arguments"
+					}
+				default:
+					d.malformed = fmt.Sprintf("unknown schedvet directive %q (want ok or hot)", verb)
+				}
+				pkg.directives = append(pkg.directives, d)
+			}
+		}
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding, sorted by position. Waiver-aware: "ok" directives suppress
+// matching findings, and waiverhygiene (if included) validates directives
+// after the other analyzers have claimed their waivers — the driver
+// reorders it to the end so usage information is complete.
+func Run(pkgs []*Package, analyzers []*Analyzer, det func(path string) bool) []Diagnostic {
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	var hygiene []*Analyzer
+	for _, a := range analyzers {
+		if a.Name == Waiverhygiene.Name {
+			hygiene = append(hygiene, a)
+			continue
+		}
+		ordered = append(ordered, a)
+	}
+	ordered = append(ordered, hygiene...)
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pkg.directives = nil
+		pkg.parseDirectives(known)
+	}
+	for _, a := range ordered {
+		for _, pkg := range pkgs {
+			if a.DetOnly && !det(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All is the full schedvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Maprange, Detsource, Hotpath, Waiverhygiene}
+}

@@ -1,0 +1,140 @@
+// Package linttest is a small analysistest-style golden harness for the
+// schedvet analyzers: it loads a testdata package, runs the analyzers
+// over it, and diffs the diagnostics against `// want` annotations in
+// the source.
+//
+// Annotation grammar (a trimmed-down analysistest):
+//
+//	code() // want `regexp` `another regexp`
+//
+// Each backquoted regexp must match exactly one diagnostic reported on
+// that line, and every diagnostic must be claimed by an annotation —
+// unexpected findings and unmatched expectations both fail the test.
+// Testdata packages live under internal/lint/testdata/src; the testdata
+// directory keeps them out of ./... wildcards (and so out of schedvet's
+// own CI run — they contain intentional violations), while explicit
+// relative paths still resolve for the loader.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"treesched/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in testdata/src/<name> (relative to the calling
+// test's working directory), runs the analyzers over it with the package
+// treated as deterministic, and checks diagnostics against // want
+// annotations.
+func Run(t *testing.T, name string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := lint.Load("", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	// Testdata packages stand in for members of the deterministic set.
+	diags := lint.Run(pkgs, analyzers, func(string) bool { return true })
+
+	expects := collectWants(t, pkgs[0].Dir)
+	for _, d := range diags {
+		if !claim(expects, d.Pos.Filename, d.Pos.Line, d.Analyzer+": "+d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching `%s`", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches.
+func claim(expects []*expectation, file string, line int, text string) bool {
+	for _, e := range expects {
+		if e.matched || e.line != line || e.file != file {
+			continue
+		}
+		if e.pattern.MatchString(text) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses // want annotations from every .go file in dir.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			_, wants, found := strings.Cut(lineText, "// want ")
+			if !found {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(wants, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				out = append(out, &expectation{file: abs, line: i + 1, pattern: re})
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no // want annotations found in %s", dir)
+	}
+	return out
+}
+
+// Findings runs analyzers over real module packages and returns the
+// rendered diagnostics; used by meta-tests that assert the live tree is
+// clean (or deliberately broken copies are not).
+func Findings(t *testing.T, patterns []string, analyzers ...*lint.Analyzer) []string {
+	t.Helper()
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	diags := lint.Run(pkgs, analyzers, lint.IsDeterministic)
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprint(d))
+	}
+	return out
+}

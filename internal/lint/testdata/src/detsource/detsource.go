@@ -1,0 +1,25 @@
+// Package detsource is the golden suite for the detsource analyzer:
+// ambient nondeterminism (randomness, wall clock, environment) banned
+// from the deterministic package set.
+package detsource
+
+import (
+	"math/rand" // want `detsource: import of math/rand: seed-independent randomness`
+	"os"
+	"time"
+)
+
+func draw(r *rand.Rand) float64 { return r.Float64() }
+
+func stamp() int64 { return time.Now().UnixNano() } // want `detsource: time.Now: wall-clock read`
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) } // want `detsource: time.Since: wall-clock read`
+
+func home() string { return os.Getenv("HOME") } // want `detsource: os.Getenv: environment read`
+
+// waived exercises the waiver path: a test-fixture clock read with a
+// stated reason is accepted.
+func waived() time.Time {
+	//schedvet:ok detsource fixture exercising the waiver path, not solve-path code
+	return time.Now()
+}

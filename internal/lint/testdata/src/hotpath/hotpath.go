@@ -1,0 +1,86 @@
+// Package hotpath is the golden suite for the hotpath analyzer: a
+// //schedvet:hot function may not allocate maps, call fmt, defer, or
+// box values into interfaces.
+package hotpath
+
+import "fmt"
+
+// hotClean is the true negative: a tight allocation-free fold.
+//
+//schedvet:hot
+func hotClean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// hotMapAlloc allocates maps both ways.
+//
+//schedvet:hot
+func hotMapAlloc(xs []int) int {
+	m := make(map[int]bool, len(xs)) // want `hotpath: hot function hotMapAlloc allocates a map with make`
+	for _, x := range xs {
+		m[x] = true
+	}
+	lit := map[string]int{"n": len(m)} // want `hotpath: hot function hotMapAlloc allocates a map literal`
+	return lit["n"]
+}
+
+// hotDefer defers.
+//
+//schedvet:hot
+func hotDefer(release func()) {
+	defer release() // want `hotpath: hot function hotDefer defers`
+}
+
+// hotFmt calls fmt.
+//
+//schedvet:hot
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // want `hotpath: hot function hotFmt calls fmt.Sprintf`
+}
+
+// hotConvert boxes through an explicit interface conversion.
+//
+//schedvet:hot
+func hotConvert(x int) any {
+	return any(x) // want `hotpath: hot function hotConvert boxes int into`
+}
+
+type sink interface{ put(v interface{}) }
+
+// hotParam boxes a concrete argument into an interface parameter.
+//
+//schedvet:hot
+func hotParam(s sink, x int) {
+	s.put(x) // want `hotpath: hot function hotParam boxes int into interface parameter`
+}
+
+// hotWaived shows a reasoned waiver on a cold error path inside an
+// otherwise-hot function.
+//
+//schedvet:hot
+func hotWaived(n int) error {
+	if n < 0 {
+		//schedvet:ok hotpath cold validation path, runs at most once per solve
+		return fmt.Errorf("bad n %d", n)
+	}
+	return nil
+}
+
+// cold is not annotated, so nothing inside it is flagged.
+func cold() map[int]bool {
+	defer func() {}()
+	_ = fmt.Sprint("cold")
+	return make(map[int]bool)
+}
+
+// hotClosure: statements inside a closure literal run on the closure's
+// schedule, not the hot function's, so they are not flagged.
+//
+//schedvet:hot
+func hotClosure() func() string {
+	return func() string { return fmt.Sprint(map[int]bool{}) }
+}

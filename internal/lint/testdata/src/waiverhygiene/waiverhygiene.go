@@ -1,0 +1,41 @@
+// Package waiverhygiene is the golden suite for the waiverhygiene
+// analyzer: every //schedvet: directive must be well-formed, placed
+// where it binds, and actually load-bearing.
+package waiverhygiene
+
+//schedvet:frobnicate // want `waiverhygiene: unknown schedvet directive "frobnicate"`
+
+//schedvet:ok // want `waiverhygiene: waiver names no analyzer`
+
+//schedvet:ok frobber the analyzer does not exist // want `waiverhygiene: waiver names unknown analyzer "frobber"`
+
+//schedvet:ok maprange // want `waiverhygiene: waiver for maprange has no reason`
+
+// used is a well-formed, load-bearing waiver: it suppresses the map
+// range below, so hygiene says nothing about it.
+func used(m map[int]int) int {
+	n := 0
+	//schedvet:ok maprange pure count; order never observed
+	for range m {
+		n++
+	}
+	return n
+}
+
+// unused: the loop below ranges a slice, so the waiver suppresses
+// nothing and has rotted.
+func unused(xs []int) int {
+	n := 0
+	//schedvet:ok maprange stale waiver left behind after a fix // want `waiverhygiene: unused waiver for maprange`
+	for range xs {
+		n++
+	}
+	return n
+}
+
+var misplaced = 0 //schedvet:hot // want `waiverhygiene: //schedvet:hot must be part of a function's doc comment`
+
+// withArgs is hot but the directive grammar takes no arguments.
+//
+//schedvet:hot like really hot // want `waiverhygiene: hot directive takes no arguments`
+func withArgs() {}

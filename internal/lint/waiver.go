@@ -1,0 +1,46 @@
+package lint
+
+import "fmt"
+
+// Waiverhygiene keeps the suppression mechanism honest. It runs after
+// the other analyzers (the driver reorders it last) and reports:
+//
+//   - malformed directives — unknown verb, waiver without an analyzer
+//     name or with an unknown one, waiver without a reason, hot with
+//     arguments;
+//   - misplaced //schedvet:hot directives that are not a function's doc
+//     comment (a hot annotation that binds to nothing enforces
+//     nothing);
+//   - unused waivers — an //schedvet:ok that suppressed no finding. The
+//     code it excused has been fixed or moved, so the waiver is dead
+//     weight that would silently excuse a future regression on that
+//     line.
+//
+// Because malformed and unused waivers are themselves findings,
+// suppressions cannot rot: every waiver in the tree is well-formed,
+// reasoned, and load-bearing.
+var Waiverhygiene = &Analyzer{
+	Name: "waiverhygiene",
+	Doc:  "flags malformed, misplaced, and unused //schedvet: directives",
+	Run:  runWaiverhygiene,
+}
+
+func runWaiverhygiene(pass *Pass) {
+	report := func(d *Directive, format string, args ...any) {
+		*pass.diags = append(*pass.diags, Diagnostic{
+			Pos:      d.Pos,
+			Analyzer: pass.Analyzer.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range pass.Pkg.directives {
+		switch {
+		case d.malformed != "":
+			report(d, "%s", d.malformed)
+		case d.Verb == "hot" && !d.attached:
+			report(d, "//schedvet:hot must be part of a function's doc comment")
+		case d.Verb == "ok" && !d.Used:
+			report(d, "unused waiver for %s: no finding on this or the next line — delete it", d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint"
+	"treesched/internal/lint/linttest"
+)
+
+// Maprange rides along so the load-bearing waiver in the golden file is
+// marked used; waiverhygiene is reordered after it by the driver.
+func TestWaiverhygieneGolden(t *testing.T) {
+	linttest.Run(t, "waiverhygiene", lint.Maprange, lint.Waiverhygiene)
+}

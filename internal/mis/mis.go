@@ -10,7 +10,10 @@
 // independent sets for identical seeds.
 package mis
 
-import "sort"
+import (
+	"maps"
+	"slices"
+)
 
 // Drawer supplies random priorities; the engine passes per-owner PRNG
 // streams so distributed and local runs agree.
@@ -136,12 +139,7 @@ func Normalize(n int, adj [][]int) [][]int {
 			}
 			seen[w] = struct{}{}
 		}
-		lst := make([]int, 0, len(seen))
-		for w := range seen {
-			lst = append(lst, w)
-		}
-		sort.Ints(lst)
-		out[v] = lst
+		out[v] = slices.Sorted(maps.Keys(seen))
 	}
 	return out
 }

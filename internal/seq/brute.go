@@ -107,6 +107,7 @@ func LineExactSingleResource(items []model.LineDemandInstance) float64 {
 	for _, di := range items {
 		byDemand[di.Demand] = append(byDemand[di.Demand], di)
 	}
+	//schedvet:ok maprange order-independent precondition check (pure conjunction over groups)
 	for _, group := range byDemand {
 		for i := range group {
 			for j := i + 1; j < len(group); j++ {

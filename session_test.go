@@ -317,13 +317,13 @@ func TestSessionUpdateAtomic(t *testing.T) {
 
 	good := treesched.NewDemand{U: 0, V: 5, Profit: 2}
 	for name, c := range map[string]treesched.Churn{
-		"invalid endpoints":    {Remove: []int{0}, Add: []treesched.NewDemand{good, {U: 3, V: 3, Profit: 1}}},
-		"out-of-range vertex":  {Remove: []int{1}, Add: []treesched.NewDemand{good, {U: 0, V: 99, Profit: 1}}},
-		"sub-unit under Auto":  {Remove: []int{2}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Height: 0.4}}},
-		"non-positive profit":  {Remove: []int{3}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: -1}}},
-		"unknown removal":      {Remove: []int{0, 77}, Add: []treesched.NewDemand{good}},
-		"duplicate removal":    {Remove: []int{4, 4}, Add: []treesched.NewDemand{good}},
-		"unknown access":       {Remove: []int{5}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Access: []int{9}}}},
+		"invalid endpoints":   {Remove: []int{0}, Add: []treesched.NewDemand{good, {U: 3, V: 3, Profit: 1}}},
+		"out-of-range vertex": {Remove: []int{1}, Add: []treesched.NewDemand{good, {U: 0, V: 99, Profit: 1}}},
+		"sub-unit under Auto": {Remove: []int{2}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Height: 0.4}}},
+		"non-positive profit": {Remove: []int{3}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: -1}}},
+		"unknown removal":     {Remove: []int{0, 77}, Add: []treesched.NewDemand{good}},
+		"duplicate removal":   {Remove: []int{4, 4}, Add: []treesched.NewDemand{good}},
+		"unknown access":      {Remove: []int{5}, Add: []treesched.NewDemand{good, {U: 0, V: 5, Profit: 1, Access: []int{9}}}},
 	} {
 		if _, err := sess.Update(c); err == nil {
 			t.Fatalf("%s: batch accepted", name)
