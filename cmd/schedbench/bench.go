@@ -28,15 +28,21 @@ const benchSchema = "treesched/bench/v1"
 
 // BenchReport is the top-level -bench-json document.
 type BenchReport struct {
-	Schema    string        `json:"schema"`
-	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
-	GoVersion string        `json:"go"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	CPUs      int           `json:"cpus"` // runtime.NumCPU at run time
-	Seed      int64         `json:"seed"`
-	Quick     bool          `json:"quick"`
-	Results   []BenchResult `json:"results"`
+	Schema    string `json:"schema"`
+	Timestamp string `json:"timestamp"` // RFC 3339, UTC
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"` // runtime.NumCPU at run time
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at run time: the scheduler
+	// parallelism the solves actually had, which is what makes a multi-core
+	// snapshot distinguishable from the 1-CPU CI baseline when reading
+	// speedup_vs_serial. Additive to the v1 schema (absent in older
+	// snapshots, where it decodes as 0 = unrecorded).
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Seed       int64         `json:"seed"`
+	Quick      bool          `json:"quick"`
+	Results    []BenchResult `json:"results"`
 }
 
 // BenchResult is one timed scenario. SpeedupVsSerial compares against the
@@ -118,14 +124,15 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 		parallel = 4
 	}
 	report := &BenchReport{
-		Schema:    benchSchema,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Seed:      seed,
-		Quick:     quick,
+		Schema:     benchSchema,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Quick:      quick,
 	}
 	for _, sc := range benchScenarios(quick) {
 		rng := rand.New(rand.NewSource(seed + 1))
@@ -153,6 +160,50 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				Components:      components,
 				Mode:            engine.Unit.String(),
 				Parallelism:     p,
+				Iters:           iters,
+				NsPerOp:         ns,
+				SolvesPerSec:    1e9 / float64(ns),
+				ItemsPerSec:     float64(len(items)) * 1e9 / float64(ns),
+				SerialNsPerOp:   serialNs,
+				SpeedupVsSerial: float64(serialNs) / float64(ns),
+			})
+		}
+	}
+
+	// The parallel sweep: the headline single-component instance (the same
+	// workload as unit-tree/m=768) solved at a ladder of worker counts. With
+	// one conflict component the whole budget becomes intra-component row
+	// partitioning (intrapar), so the per-worker-count rows chart exactly
+	// the scaling the two-level parallelism model adds over sharding. On a
+	// 1-CPU host the lane clamp keeps every row at the serial code path, so
+	// the sweep doubles as an overhead gate there.
+	{
+		sweepCfg := workload.TreeConfig{Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16}
+		rng := rand.New(rand.NewSource(seed + 1))
+		in, err := workload.RandomTreeInstance(sweepCfg, rng)
+		if err != nil {
+			return fmt.Errorf("bench parallel-sweep: %w", err)
+		}
+		items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+		if err != nil {
+			return fmt.Errorf("bench parallel-sweep: %w", err)
+		}
+		components := len(engine.ConflictComponents(engine.BuildConflicts(items)))
+		var serialNs int64
+		for _, w := range []int{1, 2, 4, 8} {
+			ns, err := timeSolve(items, seed, w, iters)
+			if err != nil {
+				return fmt.Errorf("bench parallel-sweep w=%d: %w", w, err)
+			}
+			if w == 1 {
+				serialNs = ns
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            "parallel-sweep/m=768",
+				Items:           len(items),
+				Components:      components,
+				Mode:            engine.Unit.String(),
+				Parallelism:     w,
 				Iters:           iters,
 				NsPerOp:         ns,
 				SolvesPerSec:    1e9 / float64(ns),

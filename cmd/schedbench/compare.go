@@ -39,6 +39,15 @@ type compareKey struct {
 	parallelism int
 }
 
+// fmtProcs renders a report's recorded GOMAXPROCS; older snapshots predate
+// the field and decode as 0.
+func fmtProcs(n int) string {
+	if n <= 0 {
+		return "unrecorded"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
 // runCompare diffs oldPath vs newPath. With maxRegression > 0 it exits with
 // an error when a matched scenario's ns/op grew by more than that fraction;
 // `at` restricts the gate (not the report) to scenarios whose name contains
@@ -56,6 +65,12 @@ func runCompare(oldPath, newPath string, maxRegression float64, at string) error
 		fmt.Printf("note: comparing quick=%v against quick=%v runs; overlapping scenarios only\n",
 			oldR.Quick, newR.Quick)
 	}
+	// Host parallelism decides how to read the per-scenario speedups: on a
+	// 1-CPU host worker counts above 1 measure locality and overhead, not
+	// concurrency. gomaxprocs is additive to bench/v1 — 0 means the snapshot
+	// predates it.
+	fmt.Printf("host: old cpus=%d gomaxprocs=%s, new cpus=%d gomaxprocs=%s\n",
+		oldR.CPUs, fmtProcs(oldR.GoMaxProcs), newR.CPUs, fmtProcs(newR.GoMaxProcs))
 	oldBy := make(map[compareKey]BenchResult)
 	for _, r := range oldR.Results {
 		oldBy[compareKey{r.Name, r.Parallelism}] = r

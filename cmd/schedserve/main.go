@@ -125,6 +125,14 @@ func (s *server) createInstance(w http.ResponseWriter, r *http.Request) {
 		Seed:        spec.Options.Seed,
 		Parallelism: spec.Options.Parallelism,
 	}
+	if opts.Parallelism < 1 {
+		// An unset per-instance parallelism would normalize to GOMAXPROCS,
+		// but the registry already runs up to Workers() rounds concurrently;
+		// both levels at full width would oversubscribe the host fleet-wide.
+		// Give each round an equal share of the machine instead. An explicit
+		// spec value is taken as-is.
+		opts.Parallelism = max(1, runtime.GOMAXPROCS(0)/s.reg.Workers())
+	}
 	switch spec.Options.Algorithm {
 	case "", "auto":
 		opts.Algorithm = treesched.Auto

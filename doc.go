@@ -47,14 +47,40 @@
 //	res1, _ := s.Solve(inst1) // decomposes, interns, builds conflicts, caches
 //	res2, _ := s.Solve(inst2) // same instance: straight into the schedule
 //
-// Options.Parallelism sets the worker count of the sharded solve pipeline:
-// the conflict graph of §2 decomposes into connected components that never
-// exchange messages, so the epoch/stage/step schedule runs per component on
-// a worker pool and the results are merged back into the serial execution
-// exactly. Because per-owner PRNG streams are shard-independent, any
-// Parallelism (and the serial engine) produce bit-identical selections,
-// profit and dual bound — asserted by the determinism suite. A Solver is
-// safe for concurrent use.
+// Options.Parallelism sets the total worker budget of the solve pipeline;
+// zero or negative means runtime.GOMAXPROCS(0). A Solver is safe for
+// concurrent use.
+//
+// # Two-level parallelism: component shards × row partitions
+//
+// The budget is spent at two levels. Across components: the conflict graph
+// of §2 decomposes into connected components that never exchange messages,
+// so the epoch/stage/step schedule runs per component on a worker pool and
+// the results are merged back into the serial execution exactly. Within a
+// component: the per-step kernels — the unsatisfied-scan, the conflict
+// subgraph refill, the Luby win-check, the batched raises of a step's MIS,
+// the greedy second phase's feasibility tests, and the λ fold — are
+// data-parallel over the dense index lists, so each component's engine
+// row-partitions them across an allocation-free lane pool. The cost model
+// is simple: a single-component instance puts the whole budget into lanes;
+// a fleet splits it as shard workers × (budget / shard workers), and lanes
+// are always clamped to the host's GOMAXPROCS (rows below a fixed grain
+// run inline, so small components never pay partitioning overhead).
+//
+// Both levels are bitwise invisible. Lane kernels only read shared state
+// and write per-row slots; every cross-row decision — collecting scan hits,
+// eliminating Luby losers, committing greedy steps — happens on the
+// coordinator in ascending row order, identical to the serial loop. A
+// step's MIS members are pairwise conflict-free (disjoint demand slots,
+// disjoint edge sets), so its raises commute exactly; Luby winners are
+// provably pairwise non-adjacent, so marking them in any order is the
+// serial result; λ is a pure min, exact in any association; and the Luby
+// draws themselves stay sequential per owner stream, so draw order is
+// independent of worker count. Consequently any Parallelism (and the
+// serial engine) produce bit-identical selections, profit, λ, dual bound
+// and trace — asserted across worker counts {1..8} × modes × seeds ×
+// decomposition shapes by the intra-parallelism suite — and warm-start
+// outcomes cached at one worker count replay bitwise at any other.
 //
 // # Dense indexed dual state
 //
@@ -212,8 +238,9 @@
 // with fields:
 //
 //   - schema: "treesched/bench/v1"; timestamp (RFC 3339 UTC); go, goos,
-//     goarch, cpus: the toolchain and host that produced the numbers;
-//     seed, quick: run parameters;
+//     goarch, cpus, gomaxprocs (additive; 0 in older snapshots): the
+//     toolchain and host that produced the numbers; seed, quick: run
+//     parameters;
 //   - results[]: one entry per (scenario, parallelism) with name, items,
 //     components (conflict-graph components of the scenario), mode,
 //     parallelism, iters, ns_per_op (best of iters), solves_per_sec,
@@ -232,7 +259,13 @@
 // serve-warm/m=768): an internal/serve session actor absorbing churn from
 // concurrent submitters, where ns_per_op is the mean coalesced round
 // latency and the additive coalesced_batch field reports the mean
-// submissions absorbed per round.
+// submissions absorbed per round. The intra-component scaling matrix
+// (parallel-sweep/m=768: one contended single-component instance swept
+// across worker counts 1/2/4/8, snapshotted in BENCH_intrapar.json)
+// tracks the row-partitioned kernels; read its speedups against the
+// recorded gomaxprocs — on the 1-CPU CI host the lane clamp keeps every
+// worker count on the serial path, so the snapshot gates overhead, not
+// scaling.
 //
 // `schedbench -compare OLD.json NEW.json` diffs two reports by
 // (scenario, parallelism) and prints per-size speedups;
@@ -299,7 +332,9 @@
 //     solve/merge/Apply loops (PRs 4–6). The raise primitives
 //     (dual.RaiseUnit/RaiseNarrow/AddBeta/MergeSlots), the per-step
 //     scans (state.unsatisfied/subgraph), the greedy second phase, the
-//     shard merge and Prepared.Apply are annotated.
+//     shard merge, Prepared.Apply, and the row-partitioned lane kernels
+//     (state.raiseAll, mis.LubyPool, the partitioned greedy commit) are
+//     annotated.
 //   - waiverhygiene: every //schedvet: directive must parse, bind, and
 //     pull its weight. The waiver grammar is
 //     `//schedvet:ok <analyzer> <reason>` on the flagged line or the

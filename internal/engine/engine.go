@@ -137,6 +137,12 @@ type state struct {
 	stack []step
 	trace *Trace
 	steps int
+	// pool row-partitions the per-step kernels (intrapar.go); nil runs every
+	// kernel inline. misPool is the same pool behind the mis.Pool interface,
+	// stored once so the hot loop never re-boxes it (a nil pool leaves
+	// misPool nil too, keeping Luby on its serial path).
+	pool    *intraPool
+	misPool mis.Pool
 }
 
 // solveScratch bundles a state's reusable per-run buffers, split out so the
@@ -161,6 +167,21 @@ type solveScratch struct {
 	// owner slots.
 	uBuf    []int
 	slotBuf []int
+	// flags is the shared per-row output of the partitioned kernels: each
+	// lane writes verdicts at its own row indices, and the coordinating
+	// goroutine collects them in ascending row order (intrapar.go). Only
+	// meaningful between a kernel and its collection scan.
+	flags []bool
+}
+
+// growFlags returns the flag scratch sized to n rows. Contents are
+// unspecified on entry; partitioned kernels write every row they own.
+func (scr *solveScratch) growFlags(n int) []bool {
+	if cap(scr.flags) < n {
+		scr.flags = make([]bool, n)
+	}
+	scr.flags = scr.flags[:n]
+	return scr.flags
 }
 
 // scratchPool recycles solve scratch across runs; steady-state churn/serve
@@ -232,8 +253,9 @@ func Run(items []Item, cfg Config) (*Result, error) {
 // cached Prepared, shard workers) may share one. scr may be a pooled
 // scratch (nil allocates a private one); its streams are re-seeded here, so
 // a recycled scratch starts every run from the same stream positions a
-// fresh one would.
-func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, scr *solveScratch) *state {
+// fresh one would. pool (nil = inline) row-partitions the per-step kernels;
+// the state borrows it for the run and must be its only user while running.
+func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, scr *solveScratch, pool *intraPool) *state {
 	if scr == nil {
 		scr = &solveScratch{}
 	}
@@ -245,6 +267,10 @@ func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, sc
 		adj:   adj,
 		core:  lay.newCore(cfg.Mode),
 		scr:   scr,
+		pool:  pool,
+	}
+	if pool != nil {
+		st.misPool = pool
 	}
 	if cap(scr.streams) < len(lay.ownerID) {
 		scr.streams = make([]Stream, len(lay.ownerID))
@@ -259,12 +285,17 @@ func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, sc
 	return st
 }
 
-// runSerial executes both phases over one conflict graph. The sharded
-// pipeline (RunParallel) runs firstPhase per component instead and merges.
-func (p *Prepared) runSerial(cfg Config, plan *Plan) (*Result, error) {
+// runSerial executes both phases over one conflict graph, optionally
+// row-partitioning the per-step kernels over intra lanes (intrapar.go); the
+// result is bitwise identical at every lane count. The sharded pipeline
+// (RunParallel) runs firstPhase per component instead and merges, handing
+// each shard worker its own lane budget.
+func (p *Prepared) runSerial(cfg Config, plan *Plan, intra int) (*Result, error) {
 	scr := scratchPool.Get().(*solveScratch)
 	defer scratchPool.Put(scr)
-	st := newState(p.items, p.lay, cfg, plan, p.adj, scr)
+	pool := newIntraPool(intraLanes(intra, len(p.items)))
+	defer pool.close()
+	st := newState(p.items, p.lay, cfg, plan, p.adj, scr, pool)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	res.Delta = MaxCritical(p.items)
 	if err := st.firstPhase(res); err != nil {
@@ -273,7 +304,7 @@ func (p *Prepared) runSerial(cfg Config, plan *Plan) (*Result, error) {
 	st.secondPhase(res)
 
 	if len(p.items) > 0 {
-		res.Lambda, res.Bound = st.core.lambdaBound(p.lay.views)
+		res.Lambda, res.Bound = st.core.lambdaBound(p.lay.views, pool)
 	}
 	res.CommRounds = 2*res.MISIters + 2*res.Steps
 	return res, nil
@@ -386,12 +417,8 @@ func (st *state) firstPhase(res *Result) error {
 				res.Steps++
 				chosen, iters := st.independentSet(u)
 				res.MISIters += iters
-				raised := make([]int, 0, len(chosen))
-				for _, id := range chosen {
-					st.raise(id)
-					raised = append(raised, id)
-					res.Raised++
-				}
+				raised := st.raiseAll(chosen)
+				res.Raised += len(raised)
 				st.stack = append(st.stack, step{epoch: k, stage: j + 1, iter: iter, items: raised, misIters: iters})
 			}
 		}
@@ -402,10 +429,40 @@ func (st *state) firstPhase(res *Result) error {
 //
 //schedvet:hot
 func (st *state) unsatisfied(members []int, thresh float64) []int {
+	if st.pool != nil && len(members) >= 2*intraGrain {
+		return st.unsatisfiedPar(members, thresh)
+	}
 	u := st.scr.uBuf[:0]
 	views := st.lay.views
 	for _, id := range members {
 		if st.core.Unsatisfied(&views[id], thresh) {
+			u = append(u, id)
+		}
+	}
+	st.scr.uBuf = u
+	return u
+}
+
+// unsatisfiedPar is the row-partitioned unsatisfied scan: lanes evaluate
+// the threshold test per member into the shared flag row, then the
+// coordinating goroutine collects hits in ascending member order — the
+// exact order the serial scan appends them. The test itself reads only the
+// frozen dual state of the step (no raises happen during a scan), so every
+// float comparison sees the same operands as the serial scan.
+//
+//schedvet:hot
+func (st *state) unsatisfiedPar(members []int, thresh float64) []int {
+	flags := st.scr.growFlags(len(members))
+	views := st.lay.views
+	core := st.core
+	st.pool.Run(len(members), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			flags[i] = core.Unsatisfied(&views[members[i]], thresh)
+		}
+	})
+	u := st.scr.uBuf[:0]
+	for i, id := range members {
+		if flags[i] {
 			u = append(u, id)
 		}
 	}
@@ -429,7 +486,7 @@ func (st *state) independentSet(u []int) ([]int, int) {
 		slots = append(slots, int(st.lay.ownerSlot[id]))
 	}
 	st.scr.slotBuf = slots
-	in, iters := mis.Luby(slots, sub, st.draw)
+	in, iters := mis.LubyPool(slots, sub, st.draw, st.misPool)
 	return pick(u, in), iters
 }
 
@@ -452,15 +509,21 @@ func (st *state) subgraph(u []int) [][]int {
 	}
 	sub := scr.sub[:len(u)]
 	scr.sub = sub
-	for i, id := range u {
-		row := sub[i][:0]
-		for _, w := range st.adj[id] {
-			if j := scr.index[w]; j >= 0 {
-				row = append(row, j)
+	// The row refill is read-only over adj and the just-built index, and
+	// each lane writes only its own sub rows, so partitioning it cannot
+	// reorder anything observable: rows are keyed by position, not by
+	// completion time.
+	st.pool.Run(len(u), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := sub[i][:0]
+			for _, w := range st.adj[u[i]] {
+				if j := scr.index[w]; j >= 0 {
+					row = append(row, j)
+				}
 			}
+			sub[i] = row
 		}
-		sub[i] = row
-	}
+	})
 	for _, id := range u {
 		scr.index[id] = -1
 	}
@@ -495,14 +558,43 @@ func (st *state) raise(id int) {
 	}
 }
 
+// raiseAll raises every chosen item of one step and returns the raised ids
+// (ascending — pick built them that way). A step is an independent set of
+// the conflict graph, and conflicting is exactly sharing a demand or an
+// edge, so the chosen items touch pairwise-disjoint α slots and disjoint
+// critical-edge β entries: their raises commute bitwise and may run on
+// separate lanes. Each raise reads only pre-step dual state on its own
+// item's rows (α of its slot, β of its path) — none of which another
+// chosen item writes — so partitioning changes no operand of any float op.
+// Tracing pins the serial raise order, so traced runs stay inline; the
+// prepared index is frozen, so lane raises never grow the dual slices.
+//
+//schedvet:hot
+func (st *state) raiseAll(chosen []int) []int {
+	if st.pool == nil || st.trace != nil || len(chosen) < 2*intraGrain {
+		for _, id := range chosen {
+			st.raise(id)
+		}
+		return chosen
+	}
+	views := st.lay.views
+	core := st.core
+	st.pool.Run(len(chosen), func(lo, hi int) {
+		for _, id := range chosen[lo:hi] {
+			core.Raise(&views[id])
+		}
+	})
+	return chosen
+}
+
 // secondPhase pops the stack through the shared greedy rule (dense form).
 func (st *state) secondPhase(res *Result) {
 	steps := make([][]int, len(st.stack))
 	for i := range st.stack {
 		steps[i] = st.stack[i].items
 	}
-	res.Selected, res.Profit = selectGreedyViews(st.lay.views, st.cfg.Mode, steps,
-		st.lay.ix.NumDemands(), st.lay.ix.NumEdges())
+	res.Selected, res.Profit = selectGreedyPartitioned(st.lay.views, st.cfg.Mode, steps,
+		st.lay.ix.NumDemands(), st.lay.ix.NumEdges(), st.pool, st.scr)
 }
 
 func profitRange(items []Item) (pmin, pmax float64) {

@@ -103,7 +103,12 @@ func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
 	return PrepareWorkers(items, workers).RunParallel(cfg, workers)
 }
 
-// RunParallel executes the sharded pipeline over the prepared state. With
+// RunParallel executes the sharded pipeline over the prepared state,
+// spending the worker budget on two levels: component shards first (they
+// parallelize whole schedules with zero per-step synchronization), then
+// row partitioning inside each shard (intrapar.go) with whatever budget
+// the component level cannot use. workers < 1 resolves to
+// runtime.GOMAXPROCS(0), matching Options.Parallelism at the root. With
 // the warm-start cache enabled it also shards at workers ≤ 1 (replay needs
 // per-component outcomes), except on instances known to be one single
 // component, where sharding can never pay for itself.
@@ -112,17 +117,20 @@ func (p *Prepared) RunParallel(cfg Config, workers int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if workers < 1 {
+		workers = laneCap()
+	}
 	warm := p.warm.on()
 	if workers <= 1 && (!warm || p.knownSingleComponent()) {
 		p.warm.noteCold()
-		return p.runSerial(cfg, plan)
+		return p.runSerial(cfg, plan, 1)
 	}
 	p.ensureShards()
 	if len(p.comps) <= 1 {
-		// One giant component: sharding cannot help, but the parallel
-		// conflict build in PrepareWorkers already did its part.
+		// One giant component: sharding cannot help, so the whole budget
+		// goes to row partitioning the per-step kernels inside it.
 		p.warm.noteCold()
-		return p.runSerial(cfg, plan)
+		return p.runSerial(cfg, plan, workers)
 	}
 	outs, err := p.runShards(cfg, plan, workers, warm)
 	if err != nil {
@@ -133,9 +141,12 @@ func (p *Prepared) RunParallel(cfg Config, workers int) (*Result, error) {
 
 // runShard executes one component's first phase over (pooled) scratch and
 // captures its outcome, including the merge translations into the global
-// layout (glay is only read, so shards may build them concurrently).
-func runShard(pre *preShard, cfg Config, plan *Plan, scr *solveScratch, glay *layout) (*shardOut, error) {
-	st := newState(pre.items, pre.lay, cfg, plan, pre.adj, scr)
+// layout (glay is only read, so shards may build them concurrently). pool
+// (nil = inline) row-partitions the shard's per-step kernels; the outcome
+// is bitwise identical at every lane count, which is what keeps warm-start
+// replays valid no matter how the budget that produced them was split.
+func runShard(pre *preShard, cfg Config, plan *Plan, scr *solveScratch, glay *layout, pool *intraPool) (*shardOut, error) {
+	st := newState(pre.items, pre.lay, cfg, plan, pre.adj, scr, pool)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	if err := st.firstPhase(res); err != nil {
 		return nil, err
@@ -145,7 +156,7 @@ func runShard(pre *preShard, cfg Config, plan *Plan, scr *solveScratch, glay *la
 		stack:         st.stack,
 		dual:          st.core.Dual,
 		trace:         st.trace,
-		lambda:        st.core.lambdaOnly(pre.lay.views),
+		lambda:        st.core.lambdaPool(pre.lay.views, pool),
 		raised:        res.Raised,
 		maxStageSteps: res.MaxStageSteps,
 	}
@@ -201,23 +212,38 @@ func (p *Prepared) runShards(cfg Config, plan *Plan, workers int, warm bool) ([]
 
 	if len(todo) > 0 {
 		errs := make([]error, len(todo))
-		if pool := min(workers, len(todo)); pool <= 1 {
+		// Split the budget: one shard worker per runnable component (up to
+		// workers), and the leftover budget becomes row-parallel lanes inside
+		// each worker's shards. Both splits are pure performance knobs — the
+		// per-shard outcome is bitwise fixed — so the cost model needs no
+		// determinism care, only the observation that component parallelism
+		// has no per-step synchronization and is therefore spent first.
+		compWorkers := min(workers, len(todo))
+		intra := 1
+		if workers > compWorkers {
+			intra = workers / compWorkers
+		}
+		if compWorkers <= 1 {
 			scr := scratchPool.Get().(*solveScratch)
+			pool := newIntraPool(intraLanes(intra, len(p.items)))
 			for i, s := range todo {
-				outs[s], errs[i] = runShard(p.shards[s], cfg, plan, scr, p.lay)
+				outs[s], errs[i] = runShard(p.shards[s], cfg, plan, scr, p.lay, pool)
 			}
+			pool.close()
 			scratchPool.Put(scr)
 		} else {
 			work := make(chan int)
 			var wg sync.WaitGroup
-			for w := 0; w < pool; w++ {
+			for w := 0; w < compWorkers; w++ {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					scr := scratchPool.Get().(*solveScratch)
 					defer scratchPool.Put(scr)
+					pool := newIntraPool(intraLanes(intra, len(p.items)))
+					defer pool.close()
 					for i := range work {
-						outs[todo[i]], errs[i] = runShard(p.shards[todo[i]], cfg, plan, scr, p.lay)
+						outs[todo[i]], errs[i] = runShard(p.shards[todo[i]], cfg, plan, scr, p.lay, pool)
 					}
 				}()
 			}

@@ -136,13 +136,15 @@ func (p *Prepared) Items() []Item { return p.items }
 // mutate it.
 func (p *Prepared) Conflicts() [][]int { return p.adj }
 
-// Run executes the serial engine over the prepared state.
+// Run executes the serial engine over the prepared state: one goroutine,
+// no row partitioning — the ground truth every parallel configuration is
+// pinned bitwise against.
 func (p *Prepared) Run(cfg Config) (*Result, error) {
 	plan, err := PlanFor(p.items, &cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.runSerial(cfg, plan)
+	return p.runSerial(cfg, plan, 1)
 }
 
 // ensureShards builds the component decomposition and per-shard relabelings,

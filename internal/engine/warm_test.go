@@ -213,10 +213,18 @@ func TestWarmSingleComponentSerial(t *testing.T) {
 // FuzzWarmChurn fuzzes churn schedules against the warm cache: after an
 // arbitrary Apply sequence with interleaved warm solves, the final solve
 // must match a from-scratch preparation bitwise at several worker counts.
+// The fuzzed worker axis picks which worker count runs the interleaved
+// solves — and, with it, how the budget splits into shard workers and
+// intra-component lanes — so the cache is populated under one parallelism
+// shape and replayed under the others (the intra tuning is lowered so the
+// row-partitioned kernels really run on these small instances).
 func FuzzWarmChurn(f *testing.F) {
-	f.Add(int64(1), []byte{0x03, 0x51, 0xa0})
-	f.Add(int64(7), []byte{0xff, 0x00, 0x42, 0x19})
-	f.Fuzz(func(t *testing.T, seed int64, steps []byte) {
+	f.Add(int64(1), []byte{0x03, 0x51, 0xa0}, byte(1))
+	f.Add(int64(7), []byte{0xff, 0x00, 0x42, 0x19}, byte(4))
+	f.Fuzz(func(t *testing.T, seed int64, steps []byte, widx byte) {
+		SetIntraTuningForTest(t, 4, 8)
+		workerAxis := []int{1, 2, 3, 4, 8}
+		warmW := workerAxis[int(widx)%len(workerAxis)]
 		if len(steps) > 5 {
 			steps = steps[:5]
 		}
@@ -234,12 +242,12 @@ func FuzzWarmChurn(f *testing.F) {
 			order = applyRandomDelta(t, p, pool, order, rng)
 			// Interleaved warm solve: populates (and replays) the cache so
 			// the final comparison below exercises a genuinely warm state.
-			if _, err := p.RunParallel(cfg, 2); err != nil {
+			if _, err := p.RunParallel(cfg, warmW); err != nil {
 				t.Fatal(err)
 			}
 		}
 		cold := Prepare(reindex(p.items))
-		for _, w := range []int{1, 2, 4} {
+		for _, w := range workerAxis {
 			got, err := p.RunParallel(cfg, w)
 			if err != nil {
 				t.Fatal(err)
@@ -251,8 +259,8 @@ func FuzzWarmChurn(f *testing.F) {
 			sameResult(t, "fuzz", got, want)
 		}
 		ws := p.WarmStats()
-		if ws.WarmSolves+ws.ColdSolves != len(steps)+3 {
-			t.Fatalf("solves unaccounted: %+v after %d solves", ws, len(steps)+3)
+		if ws.WarmSolves+ws.ColdSolves != len(steps)+len(workerAxis) {
+			t.Fatalf("solves unaccounted: %+v after %d solves", ws, len(steps)+len(workerAxis))
 		}
 	})
 }

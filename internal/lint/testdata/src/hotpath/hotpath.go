@@ -84,3 +84,36 @@ func cold() map[int]bool {
 func hotClosure() func() string {
 	return func() string { return fmt.Sprint(map[int]bool{}) }
 }
+
+// pool mirrors the engine's row-partitioning worker pool: Run takes a
+// concrete func parameter, so handing it a closure is not boxing.
+type pool struct{}
+
+func (pool) Run(n int, fn func(lo, hi int)) { fn(0, n) }
+
+// hotPartitioned is the row-partitioned kernel shape: a hot function may
+// hand a closure to a concrete func parameter (no interface, no boxing),
+// and per hotClosure the closure's own statements are not governed by the
+// annotation.
+//
+//schedvet:hot
+func hotPartitioned(p pool, xs, out []float64) float64 {
+	p.Run(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 2 * xs[i]
+		}
+	})
+	s := 0.0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+// hotPoolBoxed routes the same closure through an interface parameter —
+// that is boxing, and it stays flagged even in pool-dispatch shapes.
+//
+//schedvet:hot
+func hotPoolBoxed(submit func(task any)) {
+	submit(func(lo, hi int) {}) // want `hotpath: hot function hotPoolBoxed boxes func`
+}

@@ -19,6 +19,15 @@ import (
 // streams so distributed and local runs agree.
 type Drawer func(owner int) float64
 
+// Pool partitions rows [0,n) into contiguous chunks and runs fn over them,
+// returning when all chunks are done; fn must tolerate concurrent calls on
+// disjoint ranges. LubyPool uses it to spread the win-check — the O(Σ deg)
+// part of an iteration — across worker lanes. The engine's intra-component
+// pool satisfies it; a nil Pool runs everything inline.
+type Pool interface {
+	Run(n int, fn func(lo, hi int))
+}
+
 // Luby computes a maximal independent set of the graph whose vertices are
 // 0..len(owners)-1 and whose adjacency is adj (symmetric, no self-loops).
 // Vertices must be visited in increasing index order when drawing, per the
@@ -27,6 +36,22 @@ type Drawer func(owner int) float64
 // distributed implementation: one to exchange draws, one to announce
 // winners).
 func Luby(owners []int, adj [][]int, draw Drawer) (inMIS []bool, iterations int) {
+	return LubyPool(owners, adj, draw, nil)
+}
+
+// LubyPool is Luby with the per-iteration win-check partitioned over a
+// worker pool (nil runs serially). The result is bitwise identical at any
+// pool width: draws happen serially in ascending vertex order (a PRNG
+// stream is sequential state — this order is the bit-compatibility contract
+// with the distributed protocol), the win predicate of each vertex reads
+// only the frozen live/priority arrays of the current iteration and writes
+// only its own win flag, and winners are applied serially in ascending
+// order. Two adjacent vertices can never both win (their win conditions
+// contradict), so winners are an independent set and elimination order
+// within an iteration is immaterial.
+//
+//schedvet:hot
+func LubyPool(owners []int, adj [][]int, draw Drawer, pool Pool) (inMIS []bool, iterations int) {
 	n := len(owners)
 	inMIS = make([]bool, n)
 	live := make([]bool, n)
@@ -35,6 +60,7 @@ func Luby(owners []int, adj [][]int, draw Drawer) (inMIS []bool, iterations int)
 		live[i] = true
 	}
 	priority := make([]float64, n)
+	win := make([]bool, n)
 	for liveCount > 0 {
 		iterations++
 		for v := 0; v < n; v++ {
@@ -43,27 +69,32 @@ func Luby(owners []int, adj [][]int, draw Drawer) (inMIS []bool, iterations int)
 			}
 		}
 		// A vertex wins if it beats all live neighbors (ties by index).
-		var winners []int
-		for v := 0; v < n; v++ {
-			if !live[v] {
-				continue
-			}
-			wins := true
-			for _, w := range adj[v] {
-				if !live[w] {
+		check := func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if !live[v] {
+					win[v] = false
 					continue
 				}
-				if priority[w] < priority[v] || (priority[w] == priority[v] && w < v) {
-					wins = false
-					break
+				wins := true
+				for _, w := range adj[v] {
+					if !live[w] {
+						continue
+					}
+					if priority[w] < priority[v] || (priority[w] == priority[v] && w < v) {
+						wins = false
+						break
+					}
 				}
-			}
-			if wins {
-				winners = append(winners, v)
+				win[v] = wins
 			}
 		}
-		for _, v := range winners {
-			if !live[v] {
+		if pool != nil {
+			pool.Run(n, check)
+		} else {
+			check(0, n)
+		}
+		for v := 0; v < n; v++ {
+			if !win[v] || !live[v] {
 				continue // eliminated by an earlier winner this iteration
 			}
 			inMIS[v] = true

@@ -1,0 +1,62 @@
+package mis
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// chunkPool is a test Pool that partitions rows into a fixed number of
+// contiguous chunks and runs them on goroutines — the same contract the
+// engine's intra-component pool provides, with chunk boundaries chosen
+// differently on purpose: LubyPool's results must not depend on how a Pool
+// partitions, only on the per-row outputs.
+type chunkPool struct{ chunks int }
+
+func (c chunkPool) Run(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := c.chunks
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLubyPoolMatchesSerial pins the partitioned win-check bitwise against
+// the serial algorithm across graph shapes, owner mappings and chunkings:
+// identical membership and iteration counts, for the exact same draws.
+func TestLubyPoolMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(90)
+		adj := randomGraph(n, 0.12, rng)
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i % 5
+		}
+		want, wantIters := Luby(owners, adj, singleStream(int64(trial)))
+		for _, chunks := range []int{1, 2, 3, 7} {
+			got, iters := LubyPool(owners, adj, singleStream(int64(trial)), chunkPool{chunks: chunks})
+			if !slices.Equal(got, want) || iters != wantIters {
+				t.Fatalf("trial=%d chunks=%d: pooled Luby diverged (iters %d vs %d)", trial, chunks, iters, wantIters)
+			}
+			ind, max := Verify(adj, got)
+			if !ind || !max {
+				t.Fatalf("trial=%d chunks=%d: independent=%v maximal=%v", trial, chunks, ind, max)
+			}
+		}
+	}
+}

@@ -13,7 +13,8 @@ import (
 // no matter how many instances exist, and actors with pending churn are
 // served round-robin. All methods are safe for concurrent use.
 type Registry struct {
-	pool *pool
+	pool    *pool
+	workers int
 
 	mu     sync.Mutex
 	actors map[string]*Actor
@@ -24,11 +25,21 @@ type Registry struct {
 // NewRegistry creates an empty registry with the given worker-pool size
 // (values below 1 become 1).
 func NewRegistry(workers int) *Registry {
+	if workers < 1 {
+		workers = 1
+	}
 	return &Registry{
-		pool:   newPool(workers),
-		actors: make(map[string]*Actor),
+		pool:    newPool(workers),
+		workers: workers,
+		actors:  make(map[string]*Actor),
 	}
 }
+
+// Workers returns the worker-pool size: the number of solve rounds that can
+// be in flight concurrently across the fleet. Front ends use it to budget
+// per-solve Options.Parallelism so both concurrency levels together don't
+// oversubscribe the host.
+func (r *Registry) Workers() int { return r.workers }
 
 // Create builds a session over the instance with its own solver carrying
 // opts, starts an actor for it on the shared pool, and registers it under

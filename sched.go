@@ -3,6 +3,7 @@ package treesched
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"treesched/internal/dist"
 	"treesched/internal/engine"
@@ -164,12 +165,17 @@ type Options struct {
 	// decomposition (tree instances only); default is the paper's ideal
 	// decomposition.
 	Decomposition engine.DecompKind
-	// Parallelism is the number of worker goroutines of the sharded solve
-	// pipeline: the conflict graph is decomposed into connected components
-	// and the epoch/stage/step schedule runs per component on the pool.
+	// Parallelism is the worker budget of the solve pipeline, spent on two
+	// levels: the conflict graph is decomposed into connected components and
+	// the epoch/stage/step schedule runs per component on a worker pool, and
+	// any budget the component level cannot absorb (few components, or one
+	// giant one) row-partitions the per-step kernels inside each component.
 	// Results are bit-identical at every setting (per-owner PRNG streams are
-	// shard-independent); 0 or 1 runs the serial engine. Ignored by the
-	// Simulate execution path and the sequential/exact algorithms.
+	// shard-independent, and partitioned kernels merge in row order; see
+	// doc.go, "Two-level parallelism"). Values below 1 resolve to
+	// runtime.GOMAXPROCS(0) at both levels; 1 runs the serial engine.
+	// Ignored by the Simulate execution path and the sequential/exact
+	// algorithms.
 	Parallelism int
 	// DisableWarmStart turns off the Session warm-start cache. By default a
 	// Session records per-component solve outcomes and replays them for
@@ -185,7 +191,7 @@ func (o *Options) normalize() {
 		o.Epsilon = 0.1
 	}
 	if o.Parallelism < 1 {
-		o.Parallelism = 1
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 

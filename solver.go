@@ -59,7 +59,7 @@ const maxCachedLayouts = 1024
 const maxCachedPrepared = 128
 
 // NewSolver returns a Solver with the given options (normalized: ε defaults
-// to 0.1, Parallelism below 1 becomes 1).
+// to 0.1, Parallelism below 1 becomes runtime.GOMAXPROCS(0)).
 func NewSolver(opts Options) *Solver {
 	opts.normalize()
 	return &Solver{
