@@ -216,6 +216,42 @@ func BenchmarkDistributedProtocol(b *testing.B) {
 	}
 }
 
+// BenchmarkDistFleet measures the batched distributed runtime on fleet
+// workloads (one accessible network per demand — the million-demand shape),
+// reporting the protocol's message count and the resident private node
+// state per demand alongside ns/op. The same scenarios are snapshotted in
+// BENCH_dist.json by cmd/schedbench and CI-gated there.
+func BenchmarkDistFleet(b *testing.B) {
+	for _, sz := range []struct{ trees, m int }{{8, 512}, {32, 2048}} {
+		b.Run(fmt.Sprintf("m=%d", sz.m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			in, err := workload.RandomTreeInstance(workload.TreeConfig{
+				Vertices: 64, Trees: sz.trees, Demands: sz.m, ProfitRatio: 16,
+				AccessMin: 1, AccessMax: 1,
+			}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *dist.Result
+			for i := 0; i < b.N; i++ {
+				res, err := dist.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.Messages), "messages/op")
+			b.ReportMetric(float64(last.NodeStateBytes)/float64(last.Processors), "state-bytes/demand")
+		})
+	}
+}
+
 // BenchmarkAppendixA measures the sequential baseline.
 func BenchmarkAppendixA(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))

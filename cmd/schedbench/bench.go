@@ -10,6 +10,7 @@ import (
 	"time"
 
 	treesched "treesched"
+	"treesched/internal/dist"
 	"treesched/internal/engine"
 	"treesched/internal/serve"
 	"treesched/internal/workload"
@@ -66,6 +67,12 @@ type BenchResult struct {
 	// the v1 schema: older readers ignore it, -compare keys on
 	// (name, parallelism, ns_per_op) either way.
 	CoalescedBatch float64 `json:"coalesced_batch,omitempty"`
+	// Messages and BytesPerDemand describe the dist scenarios (0 elsewhere;
+	// both additive to the v1 schema): total protocol messages of one run,
+	// and resident private node state per demand — the compact-layout
+	// quantity the million-demand runtime is sized by.
+	Messages       int64 `json:"messages,omitempty"`
+	BytesPerDemand int64 `json:"bytes_per_demand,omitempty"`
 }
 
 // benchScenario is a workload shape swept by the bench run.
@@ -313,6 +320,67 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				SerialNsPerOp:   serveSerialNs,
 				SpeedupVsSerial: float64(serveSerialNs) / float64(ns),
 				CoalescedBatch:  batch,
+			})
+		}
+	}
+
+	// The dist scenarios: the full distributed protocol — message-passing
+	// simulation over one processor per demand — on fleet workloads (every
+	// demand pinned to one network, so conflict components stay small: the
+	// shape million-demand runs have). dist/m=2048 is the headline row, run
+	// identically in quick and full passes so the CI gate compares like
+	// against like; dist/m=16384 charts the scale trend in full runs only.
+	// ns_per_op is one full solve on the batched driver, messages the
+	// protocol's total message count, bytes_per_demand the resident private
+	// node state per processor.
+	distSizes := []struct {
+		name  string
+		trees int
+		m     int
+	}{{name: "dist/m=2048", trees: 32, m: 2048}}
+	if !quick {
+		distSizes = append(distSizes, struct {
+			name  string
+			trees int
+			m     int
+		}{name: "dist/m=16384", trees: 256, m: 16384})
+	}
+	for _, sz := range distSizes {
+		cfg := workload.TreeConfig{
+			Vertices: 64, Trees: sz.trees, Demands: sz.m, ProfitRatio: 16,
+			AccessMin: 1, AccessMax: 1,
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		in, err := workload.RandomTreeInstance(cfg, rng)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sz.name, err)
+		}
+		items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sz.name, err)
+		}
+		var serialNs int64
+		for _, p := range []int{1, parallel} {
+			ns, res, err := timeDist(items, seed, p, iters)
+			if err != nil {
+				return fmt.Errorf("bench %s p=%d: %w", sz.name, p, err)
+			}
+			if p == 1 {
+				serialNs = ns
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            sz.name,
+				Items:           len(items),
+				Mode:            engine.Unit.String(),
+				Parallelism:     p,
+				Iters:           iters,
+				NsPerOp:         ns,
+				SolvesPerSec:    1e9 / float64(ns),
+				ItemsPerSec:     float64(len(items)) * 1e9 / float64(ns),
+				SerialNsPerOp:   serialNs,
+				SpeedupVsSerial: float64(serialNs) / float64(ns),
+				Messages:        int64(res.Stats.Messages),
+				BytesPerDemand:  res.NodeStateBytes / int64(res.Processors),
 			})
 		}
 	}
@@ -572,6 +640,69 @@ func timeServe(cfg workload.TreeConfig, seed int64, parallelism int, pinned bool
 	ns := st.TotalLatency.Nanoseconds() / int64(st.Rounds)
 	batch := float64(st.Submissions) / float64(st.Rounds)
 	return ns, int(st.Rounds), batch, len(in.Demands), nil
+}
+
+// timeDist measures the best-of-iters wall time of one full distributed
+// solve on the batched driver with a stepping pool of `parallelism`
+// workers, returning the last run's Result for the message/state columns
+// (identical across iterations at a fixed seed).
+func timeDist(items []engine.Item, seed int64, parallelism, iters int) (int64, *dist.Result, error) {
+	best := int64(0)
+	var last *dist.Result
+	for i := 0; i < iters; i++ {
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: seed}
+		start := time.Now()
+		res, err := dist.RunOpts(items, cfg, dist.Options{Workers: parallelism})
+		if err != nil {
+			return 0, nil, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+		last = res
+	}
+	return best, last, nil
+}
+
+// runDistSmoke is -dist-smoke N: one end-to-end distributed solve of an
+// N-demand fleet workload on the batched driver, printing the headline
+// numbers (wall clock, rounds, messages, per-demand state). The CI smoke
+// runs it at N ≥ 100000 to keep the million-demand path honest.
+func runDistSmoke(demands int, seed int64) error {
+	trees := demands / 64
+	if trees < 1 {
+		trees = 1
+	}
+	cfg := workload.TreeConfig{
+		Vertices: 64, Trees: trees, Demands: demands, ProfitRatio: 16,
+		AccessMin: 1, AccessMax: 1,
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	buildStart := time.Now()
+	in, err := workload.RandomTreeInstance(cfg, rng)
+	if err != nil {
+		return err
+	}
+	items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+	if err != nil {
+		return err
+	}
+	buildNs := time.Since(buildStart)
+	solveStart := time.Now()
+	res, err := dist.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: seed})
+	if err != nil {
+		return err
+	}
+	solveNs := time.Since(solveStart)
+	fmt.Printf("dist smoke: %d demands (%d items, %d processors)\n", demands, len(items), res.Processors)
+	fmt.Printf("  build %v, solve %v\n", buildNs.Round(time.Millisecond), solveNs.Round(time.Millisecond))
+	fmt.Printf("  schedule %d rounds (%d busy, %d skipped), %d messages, max size %d\n",
+		res.ScheduleRounds, res.Stats.BusyRounds, res.Stats.SkippedRounds, res.Stats.Messages, res.Stats.MaxMessageSize)
+	fmt.Printf("  node state %d bytes/demand, shared context %d bytes\n",
+		res.NodeStateBytes/int64(res.Processors), res.SharedStateBytes)
+	fmt.Printf("  selected %d items, profit %.3f, bound %.3f\n", len(res.Selected), res.Profit, res.Bound)
+	return nil
 }
 
 // timeSolve measures the best-of-iters wall time of one engine solve.

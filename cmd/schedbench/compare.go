@@ -96,6 +96,18 @@ func runCompare(oldPath, newPath string, maxRegression float64, at string) error
 				regressions = append(regressions, fmt.Sprintf("%s p=%d: %d -> %d ns/op (%.1f%% slower)",
 					nr.Name, nr.Parallelism, or.NsPerOp, nr.NsPerOp, 100*(1/speedup-1)))
 			}
+			// The parallel-sweep rows additionally gate their multi-worker
+			// scaling: speedup_vs_serial must not erode beyond the threshold.
+			// Only meaningful when both runs actually had the cores —
+			// speedup_vs_serial on a 1-CPU host measures overhead, not
+			// concurrency — so the gate is inert unless both reports record
+			// gomaxprocs ≥ 4 (older snapshots decode as 0 and stay inert).
+			if strings.Contains(nr.Name, "parallel-sweep") && nr.Parallelism > 1 &&
+				oldR.GoMaxProcs >= 4 && newR.GoMaxProcs >= 4 &&
+				nr.SpeedupVsSerial < or.SpeedupVsSerial*(1-maxRegression) {
+				regressions = append(regressions, fmt.Sprintf("%s p=%d: speedup_vs_serial %.2fx -> %.2fx",
+					nr.Name, nr.Parallelism, or.SpeedupVsSerial, nr.SpeedupVsSerial))
+			}
 		}
 	}
 	gone := make([]compareKey, 0, len(oldBy))

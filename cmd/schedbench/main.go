@@ -11,6 +11,7 @@
 //	schedbench [-experiment all|E1|...|A3] [-seed N] [-quick]
 //	schedbench -bench-json FILE [-seed N] [-quick]
 //	schedbench -compare [-max-regression F] [-at SUBSTR] OLD.json NEW.json
+//	schedbench -dist-smoke N [-seed S]
 package main
 
 import (
@@ -31,8 +32,16 @@ func main() {
 		compare   = flag.Bool("compare", false, "diff two treesched/bench/v1 reports (args: OLD.json NEW.json) and print per-scenario speedups")
 		maxRegr   = flag.Float64("max-regression", 0, "with -compare: exit nonzero if a gated scenario's ns/op grew by more than this fraction (0 = report only)")
 		at        = flag.String("at", "", "with -compare -max-regression: gate only scenarios whose name contains this substring")
+		distSmoke = flag.Int("dist-smoke", 0, "run one end-to-end distributed solve of this many demands (fleet workload, batched driver) and print the headline numbers")
 	)
 	flag.Parse()
+	if *distSmoke > 0 {
+		if err := runDistSmoke(*distSmoke, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "schedbench: -compare needs exactly two report paths: OLD.json NEW.json")

@@ -302,6 +302,38 @@
 // the rounds that moved messages, and experiment E12 tabulates the
 // decomposition.
 //
+// # Distributed scale: the batched million-demand runtime
+//
+// internal/dist executes under two interchangeable simnet drivers. The
+// original goroutine driver (dist.DriverGoroutine) runs one goroutine per
+// processor with a per-round channel handshake — faithful, but a million
+// demands means a million goroutines stepped every round. The batched
+// driver (dist.DriverBatched, the default) makes the same execution scale:
+//
+//   - Shared-layout nodes: every processor reads the engine's interned
+//     dense layout (views, critical sets, conflict adjacency) through one
+//     immutable run context instead of copying critical sets and conflict
+//     maps per node. Private per-node state shrinks to its dual slots,
+//     PRNG stream, live-set bits and pooled message buffers — a few KB per
+//     demand, dominated by per-neighbor outbox buckets, and reported as
+//     Result.NodeStateBytes/SharedStateBytes.
+//   - Batched round delivery: a round scheduler buckets committed outboxes
+//     into per-recipient inbox slices (ascending-sender append order is
+//     delivery order — no sorting), steps only nodes with mail or a due
+//     spontaneous action on a bounded worker pool, and commits results in
+//     ascending node order. Worker count cannot affect results.
+//   - O(components) fast-forward: the earliest next-active round is
+//     tracked per conflict component in a lazy min-heap, so skipping the
+//     idle stretches of the fixed schedule costs O(log components) per
+//     executed round rather than a full-network scan.
+//
+// Both drivers produce bit-identical Results and identical simnet Stats —
+// asserted pairwise (and against the in-process engine) by the equivalence
+// and fuzz suites of internal/dist. On fleet workloads the batched driver
+// solves 100k demands in seconds and a million demands in minutes
+// end-to-end (see BENCH_dist.json and `schedbench -dist-smoke`), a scale
+// at which the goroutine driver is not practical.
+//
 // # Determinism rules: the schedvet static-analysis suite
 //
 // The bitwise guarantee (serial ≡ parallel ≡ distributed ≡ warm-replay)

@@ -1,27 +1,34 @@
 // Package dist executes the paper's distributed algorithm over the
 // synchronous message-passing simulator of package simnet: one processor
-// per demand, run as its own goroutine, following the fixed
-// epoch/stage/step schedule of Figure 7 with Luby-MIS step elections.
+// per demand, following the fixed epoch/stage/step schedule of Figure 7
+// with Luby-MIS step elections.
 //
-// # Shared protocol core
+// # Shared protocol core, shared layout
 //
 // The protocol logic itself — dual raises, LHS coefficients, threshold
 // checks, the β-replay of announced raises, and the phase-2 greedy pop —
 // lives in engine's processor-local Core (engine.Core, engine.BetaGain,
-// engine.SelectGreedy). Both the in-process engine and the nodes here
-// funnel every dual mutation and every satisfaction test through that one
-// implementation, and both draw Luby priorities from identical per-owner
-// splitmix64 streams (engine.NewStream) in identical order, so for the same
-// (items, Config) the two executions are bit-identical: same raises, same
-// δ values, same elections, same Selected set, same Profit. Experiment A3
-// and the package's equivalence tests assert exactly this.
+// engine.Prepared.SelectGreedy). Both the in-process engine and the nodes
+// here funnel every dual mutation and every satisfaction test through that
+// one implementation, and both draw Luby priorities from identical
+// per-owner splitmix64 streams (engine.NewStream) in identical order, so
+// for the same (items, Config) the two executions are bit-identical: same
+// raises, same δ values, same elections, same Selected set, same Profit,
+// same λ and dual bound. Experiment A3 and the package's equivalence tests
+// assert exactly this — under both simnet drivers.
+//
+// Since PR 9 the nodes share the engine's read-only interned dense layout
+// (engine.Prepared) through a runContext instead of copying critical sets
+// and conflict maps per processor; see doc.go's "Distributed scale"
+// section for the invariants and the accounting
+// (Result.NodeStateBytes/SharedStateBytes).
 //
 // # Fixed synchronous schedule
 //
 // Every processor derives the schedule locally from common knowledge (the
 // engine.Plan: ε, ∆, thresholds, step cap, number of epochs — quantities
 // the paper assumes are globally known): round 0 is a setup broadcast in
-// which each processor describes its demand instances to the processors it
+// which each processor announces its demand instances to the processors it
 // conflicts with; then each of the T = MaxGroup·Stages·StepCap steps
 // occupies exactly 2B+1 rounds, where B = LubyBudgetFor(n) is the per-step
 // Luby iteration budget — two rounds per election iteration (exchange
@@ -44,29 +51,66 @@ package dist
 
 import (
 	"fmt"
-	"maps"
+	"runtime"
 	"slices"
-	"sort"
 
+	"treesched/internal/dual"
 	"treesched/internal/engine"
 	"treesched/internal/simnet"
 )
+
+// Driver selects the simnet execution strategy.
+type Driver int
+
+const (
+	// DriverBatched is the default: the batched round scheduler with
+	// per-component fast-forward and a bounded stepping pool — the driver
+	// that scales to a million processors.
+	DriverBatched Driver = iota
+	// DriverGoroutine is the original one-goroutine-per-node handshake
+	// driver, kept as a cross-check: same nodes, same Stats, radically
+	// different execution.
+	DriverGoroutine
+)
+
+// Options tunes RunOpts beyond the engine Config.
+type Options struct {
+	Driver Driver
+	// Workers bounds the batched driver's stepping pool and the prepare
+	// step's conflict-build pool; ≤0 means GOMAXPROCS. Cannot affect
+	// results, only wall-clock.
+	Workers int
+}
 
 // Result reports a distributed run.
 type Result struct {
 	Selected []int   // item IDs chosen by the second phase, ascending
 	Profit   float64 // Σ profit of selected items
 
+	Lambda float64          // measured slackness of the replayed global dual
+	Bound  float64          // weak-duality upper bound Value/λ
+	Dual   *dual.Assignment // global dual replayed from the raise history
+	Trace  *engine.Trace    // phase-1 raise history; nil unless Config.RecordTrace
+
 	Stats          simnet.Stats // honest communication costs
 	Processors     int          // number of processor nodes (= demands with items)
 	ScheduleRounds int          // fixed schedule length 1 + T·(2B+1)
 	Plan           *engine.Plan // the locally-derived schedule
 	LubyBudget     int          // B, per-step Luby iteration budget
+
+	NodeStateBytes   int64 // Σ resident private state over all nodes (peak capacities)
+	SharedStateBytes int64 // read-only context arenas shared by all nodes
 }
 
-// Run executes the protocol over the simulator and returns the selection,
-// which is bit-identical to engine.Run's for the same items and Config.
+// Run executes the protocol over the simulator (batched driver) and
+// returns the selection, which is bit-identical to engine.Run's for the
+// same items and Config.
 func Run(items []engine.Item, cfg engine.Config) (*Result, error) {
+	return RunOpts(items, cfg, Options{})
+}
+
+// RunOpts is Run with an explicit driver and worker budget.
+func RunOpts(items []engine.Item, cfg engine.Config, opts Options) (*Result, error) {
 	plan, err := engine.PlanFor(items, &cfg)
 	if err != nil {
 		return nil, err
@@ -81,108 +125,98 @@ func Run(items []engine.Item, cfg engine.Config) (*Result, error) {
 		return res, nil
 	}
 
-	nodes, owners, err := buildNodes(items, cfg, plan, budget)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prep := engine.PrepareWorkers(items, workers)
+	ctx, err := buildContext(prep, cfg, plan, budget)
 	if err != nil {
 		return nil, err
 	}
+	nodes := ctx.newNodes()
 	res.Processors = len(nodes)
-	topology := buildTopology(items, owners, len(nodes))
-	for i, nbrs := range topology {
-		nodes[i].neighbors = nbrs
-	}
 
 	simNodes := make([]simnet.Node, len(nodes))
 	for i, n := range nodes {
 		simNodes[i] = n
 	}
-	nw, err := simnet.New(simNodes, topology)
+	nw, err := simnet.New(simNodes, ctx.topology)
 	if err != nil {
 		return nil, err
 	}
-	stats, err := nw.Run(res.ScheduleRounds + 2)
+	var stats simnet.Stats
+	if opts.Driver == DriverGoroutine {
+		stats, err = nw.Run(res.ScheduleRounds + 2)
+	} else {
+		stats, err = nw.RunBatched(res.ScheduleRounds+2, simnet.BatchConfig{Workers: workers})
+	}
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = stats
 
-	res.Selected, res.Profit = assemble(items, cfg.Mode, nodes)
+	steps, trace := assembleSteps(ctx, nodes, cfg.RecordTrace)
+	res.Selected, res.Profit = prep.SelectGreedy(cfg.Mode, steps)
+	res.Dual, res.Lambda, res.Bound = prep.ReplayDual(cfg.Mode, steps)
+	res.Trace = trace
+	for _, n := range nodes {
+		res.NodeStateBytes += n.stateBytes()
+	}
+	res.SharedStateBytes = ctx.sharedBytes
 	return res, nil
 }
 
-// buildNodes groups the items by owning processor (ascending owner id) and
-// constructs one node per processor. The paper's model has exactly one
-// processor per demand and one demand per processor (§2); items violating
-// either direction are rejected — the nodes' conflict bookkeeping assumes
-// the bijection, and silently accepting other inputs would break the
-// bit-identical mirror of engine.Run.
-func buildNodes(items []engine.Item, cfg engine.Config, plan *engine.Plan, budget int) ([]*node, map[int]int, error) {
-	demandOwner := make(map[int]int)
-	ownerDemand := make(map[int]int)
-	byOwner := make(map[int][]engine.Item)
-	for _, it := range items {
-		if prev, ok := demandOwner[it.Demand]; ok && prev != it.Owner {
-			return nil, nil, fmt.Errorf("dist: demand %d owned by both processor %d and %d", it.Demand, prev, it.Owner)
+// assembleSteps reconstructs the global raise history from the nodes' local
+// logs — ordered by flat step index, item ids ascending within a step,
+// exactly the stack the engine pushes — via a counting sort over the fixed
+// schedule's T step buckets (no maps, one pass per node log). With
+// wantTrace it also rebuilds the engine's trace: events carry the 1-based
+// rank of their step among non-empty steps (the engine's Steps counter at
+// raise time) and the δ each raise produced.
+func assembleSteps(ctx *runContext, nodes []*node, wantTrace bool) ([][]int, *engine.Trace) {
+	total := 0
+	counts := make([]int32, ctx.totalSteps)
+	for _, n := range nodes {
+		total += len(n.raises)
+		for _, r := range n.raises {
+			counts[r.Step]++
 		}
-		if prev, ok := ownerDemand[it.Owner]; ok && prev != it.Demand {
-			return nil, nil, fmt.Errorf("dist: processor %d owns both demand %d and %d; the model has one demand per processor", it.Owner, prev, it.Demand)
+	}
+	off := make([]int32, ctx.totalSteps+1)
+	for t, c := range counts {
+		off[t+1] = off[t] + c
+	}
+	flat := make([]raiseRec, total)
+	cur := slices.Clone(off[:ctx.totalSteps])
+	for _, n := range nodes {
+		for _, r := range n.raises {
+			flat[cur[r.Step]] = r
+			cur[r.Step]++
 		}
-		demandOwner[it.Demand] = it.Owner
-		ownerDemand[it.Owner] = it.Demand
-		byOwner[it.Owner] = append(byOwner[it.Owner], it)
 	}
-	ownerIDs := slices.Sorted(maps.Keys(byOwner))
-	owners := make(map[int]int, len(ownerIDs)) // owner id -> node index
-	nodes := make([]*node, len(ownerIDs))
-	for i, o := range ownerIDs {
-		owners[o] = i
-		own := byOwner[o]
-		sort.Slice(own, func(a, b int) bool { return own[a].ID < own[b].ID })
-		nodes[i] = newNode(i, own, cfg, plan, budget)
+	itemArena := make([]int, total)
+	var steps [][]int
+	var trace *engine.Trace
+	if wantTrace {
+		trace = &engine.Trace{Events: make([]engine.RaiseEvent, 0, total)}
 	}
-	return nodes, owners, nil
-}
-
-// buildTopology connects two processors iff they hold conflicting items
-// (the §2 conflict graph projected onto processors): exactly the pairs that
-// ever need to exchange draws or raise announcements.
-func buildTopology(items []engine.Item, owners map[int]int, n int) [][]int {
-	adjSet := make([]map[int]bool, n)
-	for i := range adjSet {
-		adjSet[i] = make(map[int]bool)
-	}
-	conflicts := engine.BuildConflicts(items)
-	for v := range conflicts {
-		a := owners[items[v].Owner]
-		for _, w := range conflicts[v] {
-			b := owners[items[w].Owner]
-			if a != b {
-				adjSet[a][b] = true
-				adjSet[b][a] = true
+	for t := 0; t < ctx.totalSteps; t++ {
+		seg := flat[off[t]:off[t+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		slices.SortFunc(seg, func(a, b raiseRec) int { return int(a.Item) - int(b.Item) })
+		ids := itemArena[off[t]:off[t]:off[t+1]]
+		for _, r := range seg {
+			ids = append(ids, int(r.Item))
+		}
+		steps = append(steps, ids)
+		if wantTrace {
+			for _, r := range seg {
+				trace.Events = append(trace.Events, engine.RaiseEvent{Step: len(steps), Item: int(r.Item), Delta: r.Delta})
 			}
 		}
 	}
-	topology := make([][]int, n)
-	for i, set := range adjSet {
-		topology[i] = slices.Sorted(maps.Keys(set))
-	}
-	return topology
-}
-
-// assemble reconstructs the global raise history from the nodes' local logs
-// — ordered by flat step index, item ids ascending within a step, exactly
-// the stack the engine pushes — and runs the shared second phase over it.
-func assemble(items []engine.Item, mode engine.Mode, nodes []*node) ([]int, float64) {
-	byStep := make(map[int][]int)
-	for _, n := range nodes {
-		for _, r := range n.raises {
-			byStep[r.Step] = append(byStep[r.Step], r.Item)
-		}
-	}
-	stepIDs := slices.Sorted(maps.Keys(byStep))
-	steps := make([][]int, len(stepIDs))
-	for i, t := range stepIDs {
-		sort.Ints(byStep[t])
-		steps[i] = byStep[t]
-	}
-	return engine.SelectGreedy(items, mode, steps)
+	return steps, trace
 }

@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -28,9 +29,44 @@ func treeItems(t testing.TB, wcfg workload.TreeConfig, instSeed int64, kind engi
 	return items
 }
 
-// TestEngineEquivalence is the headline invariant: dist.Run and engine.Run
-// return identical Selected slices and profit for identical (items, Config),
-// swept over seeds × modes × decompositions.
+// runBoth executes the distributed protocol under BOTH simnet drivers and
+// asserts they agree on the full Result — selection, profit, λ, bound, the
+// replayed dual, the trace, and the communication Stats. The batched
+// scheduler executes radically differently from the goroutine handshake
+// (sparse stepping, worker-pool rounds, per-component fast-forward), so
+// exact Stats equality is the sharpest available probe that its round
+// semantics are unchanged. Returns the batched result.
+func runBoth(t *testing.T, tag string, items []engine.Item, cfg engine.Config) *dist.Result {
+	t.Helper()
+	batched, err := dist.RunOpts(items, cfg, dist.Options{Driver: dist.DriverBatched})
+	if err != nil {
+		t.Fatalf("%s: batched driver: %v", tag, err)
+	}
+	goro, err := dist.RunOpts(items, cfg, dist.Options{Driver: dist.DriverGoroutine})
+	if err != nil {
+		t.Fatalf("%s: goroutine driver: %v", tag, err)
+	}
+	if !reflect.DeepEqual(batched.Selected, goro.Selected) {
+		t.Errorf("%s: drivers disagree on selection:\nbatched   %v\ngoroutine %v", tag, batched.Selected, goro.Selected)
+	}
+	if batched.Profit != goro.Profit || batched.Lambda != goro.Lambda || batched.Bound != goro.Bound {
+		t.Errorf("%s: drivers disagree on profit/λ/bound: batched (%v, %v, %v) goroutine (%v, %v, %v)",
+			tag, batched.Profit, batched.Lambda, batched.Bound, goro.Profit, goro.Lambda, goro.Bound)
+	}
+	if !reflect.DeepEqual(batched.Trace, goro.Trace) {
+		t.Errorf("%s: drivers disagree on trace", tag)
+	}
+	if !reflect.DeepEqual(batched.Stats, goro.Stats) {
+		t.Errorf("%s: drivers disagree on Stats:\nbatched   %+v\ngoroutine %+v", tag, batched.Stats, goro.Stats)
+	}
+	return batched
+}
+
+// TestEngineEquivalence is the headline invariant: dist and engine.Run
+// return identical results for identical (items, Config) — selection,
+// profit, λ, dual bound, dual variables and raise trace — swept over
+// seeds × modes × decompositions, with the distributed execution checked
+// under both simnet drivers.
 func TestEngineEquivalence(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	decomps := []engine.DecompKind{engine.IdealDecomp, engine.BalancingDecomp, engine.RootFixingDecomp}
@@ -43,15 +79,13 @@ func TestEngineEquivalence(t *testing.T) {
 			}
 			items := treeItems(t, wcfg, 42+int64(mode), kind)
 			for _, seed := range seeds {
-				cfg := engine.Config{Mode: mode, Epsilon: 0.3, Seed: seed}
+				cfg := engine.Config{Mode: mode, Epsilon: 0.3, Seed: seed, RecordTrace: true}
 				eres, err := engine.Run(items, cfg)
 				if err != nil {
 					t.Fatalf("%v/%v/seed %d: engine: %v", mode, kind, seed, err)
 				}
-				dres, err := dist.Run(items, cfg)
-				if err != nil {
-					t.Fatalf("%v/%v/seed %d: dist: %v", mode, kind, seed, err)
-				}
+				tag := fmt.Sprintf("%v/%v/seed %d", mode, kind, seed)
+				dres := runBoth(t, tag, items, cfg)
 				if !reflect.DeepEqual(eres.Selected, dres.Selected) {
 					t.Errorf("%v/%v/seed %d: selections differ:\nengine %v\ndist   %v",
 						mode, kind, seed, eres.Selected, dres.Selected)
@@ -59,6 +93,18 @@ func TestEngineEquivalence(t *testing.T) {
 				if eres.Profit != dres.Profit {
 					t.Errorf("%v/%v/seed %d: profit differs: engine %v dist %v",
 						mode, kind, seed, eres.Profit, dres.Profit)
+				}
+				if eres.Lambda != dres.Lambda || eres.Bound != dres.Bound {
+					t.Errorf("%v/%v/seed %d: λ/bound differ: engine (%v, %v) dist (%v, %v)",
+						mode, kind, seed, eres.Lambda, eres.Bound, dres.Lambda, dres.Bound)
+				}
+				if !reflect.DeepEqual(eres.Trace, dres.Trace) {
+					t.Errorf("%v/%v/seed %d: traces differ:\nengine %+v\ndist   %+v",
+						mode, kind, seed, eres.Trace.Events, dres.Trace.Events)
+				}
+				if !reflect.DeepEqual(eres.Dual.AlphaMap(), dres.Dual.AlphaMap()) ||
+					!reflect.DeepEqual(eres.Dual.BetaMap(), dres.Dual.BetaMap()) {
+					t.Errorf("%v/%v/seed %d: replayed dual differs from engine dual", mode, kind, seed)
 				}
 			}
 		}
@@ -84,10 +130,7 @@ func TestEquivalenceLineItems(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dres, err := dist.Run(items, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
+		dres := runBoth(t, fmt.Sprintf("line/seed %d", seed), items, cfg)
 		if !reflect.DeepEqual(eres.Selected, dres.Selected) || eres.Profit != dres.Profit {
 			t.Errorf("seed %d: engine (%v, %v) vs dist (%v, %v)",
 				seed, eres.Selected, eres.Profit, dres.Selected, dres.Profit)
@@ -103,10 +146,7 @@ func TestEquivalenceSingleStage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dres, err := dist.Run(items, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dres := runBoth(t, "single-stage", items, cfg)
 	if !reflect.DeepEqual(eres.Selected, dres.Selected) || eres.Profit != dres.Profit {
 		t.Errorf("engine (%v, %v) vs dist (%v, %v)", eres.Selected, eres.Profit, dres.Selected, dres.Profit)
 	}
@@ -258,6 +298,38 @@ func TestDualBoundsAgree(t *testing.T) {
 	if math.IsNaN(dres.Profit) {
 		t.Error("NaN profit")
 	}
+}
+
+// TestCompactNodeState pins the tentpole memory claim: per-node private
+// state stays a small constant number of bytes per demand on a fleet
+// workload (many small trees, one accessible tree per demand — the shape
+// million-demand runs use), with all layout data accounted to the shared
+// read-only context. A node that starts copying critical sets or conflict
+// maps again blows through the bound immediately (the pre-compaction
+// runtime sat in the tens of kilobytes per demand on this workload).
+// What remains per node is dominated by the per-neighbor outbox buckets —
+// a small constant per conflict-graph neighbor — plus the dense local
+// dual; ~4.2KB/demand at this workload's conflict degree (~60).
+func TestCompactNodeState(t *testing.T) {
+	items := treeItems(t, workload.TreeConfig{
+		Vertices: 64, Trees: 32, Demands: 2048, ProfitRatio: 8,
+		AccessMin: 1, AccessMax: 1,
+	}, 13, engine.IdealDecomp)
+	res, err := dist.Run(items, engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processors == 0 || res.NodeStateBytes == 0 || res.SharedStateBytes == 0 {
+		t.Fatalf("accounting missing: processors %d, node bytes %d, shared bytes %d",
+			res.Processors, res.NodeStateBytes, res.SharedStateBytes)
+	}
+	perDemand := res.NodeStateBytes / int64(res.Processors)
+	const maxPerDemand = 6144
+	if perDemand > maxPerDemand {
+		t.Errorf("node state regressed: %d bytes/demand, budget %d (total %d over %d processors)",
+			perDemand, int64(maxPerDemand), res.NodeStateBytes, res.Processors)
+	}
+	t.Logf("node state: %d bytes/demand private, %d bytes shared context", perDemand, res.SharedStateBytes)
 }
 
 // TestSharedCoreBetaGain pins the β-replay rule against the dual raise

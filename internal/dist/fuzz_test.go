@@ -12,10 +12,12 @@ import (
 
 // FuzzEngineEquivalence cross-checks the message-passing protocol against
 // the in-process engine on randomized instances: for any instance the
-// builder accepts and the engine solves, the distributed execution must
-// return the identical selection and profit. The seed corpus covers both
-// raise modes, several profit spreads and both ε regimes; `go test` replays
-// the corpus, `go test -fuzz=FuzzEngineEquivalence` explores further.
+// builder accepts and the engine solves, the distributed execution — under
+// BOTH simnet drivers, which must additionally agree on the full Result
+// and the communication Stats — must return the identical selection,
+// profit, λ and dual bound. The seed corpus covers both raise modes,
+// several profit spreads and both ε regimes; `go test` replays the corpus,
+// `go test -fuzz=FuzzEngineEquivalence` explores further.
 func FuzzEngineEquivalence(f *testing.F) {
 	f.Add(int64(1), int64(1), uint8(0), uint8(8), false)
 	f.Add(int64(2), int64(9), uint8(3), uint8(6), false)
@@ -50,15 +52,31 @@ func FuzzEngineEquivalence(f *testing.F) {
 		if err != nil {
 			t.Skip() // instances the engine rejects are out of scope
 		}
-		dres, err := dist.Run(items, cfg)
+		dres, err := dist.RunOpts(items, cfg, dist.Options{Driver: dist.DriverBatched})
 		if err != nil {
-			t.Fatalf("engine succeeded but dist failed: %v", err)
+			t.Fatalf("engine succeeded but batched dist failed: %v", err)
+		}
+		gres, err := dist.RunOpts(items, cfg, dist.Options{Driver: dist.DriverGoroutine})
+		if err != nil {
+			t.Fatalf("engine succeeded but goroutine dist failed: %v", err)
 		}
 		if !reflect.DeepEqual(eres.Selected, dres.Selected) {
 			t.Fatalf("selections diverged:\nengine %v\ndist   %v", eres.Selected, dres.Selected)
 		}
 		if eres.Profit != dres.Profit {
 			t.Fatalf("profit diverged: engine %v dist %v", eres.Profit, dres.Profit)
+		}
+		if eres.Lambda != dres.Lambda || eres.Bound != dres.Bound {
+			t.Fatalf("λ/bound diverged: engine (%v, %v) dist (%v, %v)", eres.Lambda, eres.Bound, dres.Lambda, dres.Bound)
+		}
+		if !reflect.DeepEqual(dres.Selected, gres.Selected) || dres.Profit != gres.Profit ||
+			dres.Lambda != gres.Lambda || dres.Bound != gres.Bound {
+			t.Fatalf("drivers diverged:\nbatched   (%v, %v, %v, %v)\ngoroutine (%v, %v, %v, %v)",
+				dres.Selected, dres.Profit, dres.Lambda, dres.Bound,
+				gres.Selected, gres.Profit, gres.Lambda, gres.Bound)
+		}
+		if !reflect.DeepEqual(dres.Stats, gres.Stats) {
+			t.Fatalf("driver Stats diverged:\nbatched   %+v\ngoroutine %+v", dres.Stats, gres.Stats)
 		}
 	})
 }

@@ -2,89 +2,78 @@ package dist
 
 import (
 	"fmt"
-	"maps"
-	"slices"
 
+	"treesched/internal/dual"
 	"treesched/internal/engine"
-	"treesched/internal/model"
 	"treesched/internal/simnet"
 )
 
-// raiseRecord is one phase-1 raise performed by a node, stamped with the
-// flat step index of the fixed schedule so the coordinator can reassemble
-// the global raise history in schedule order.
-type raiseRecord struct {
-	Step  int
-	Item  int
+// raiseRec is one phase-1 raise performed by a node, stamped with the flat
+// step index of the fixed schedule so the coordinator can reassemble the
+// global raise history in schedule order.
+type raiseRec struct {
+	Step  int32
+	Item  int32
 	Delta float64
 }
 
-// node is one processor of the distributed algorithm. It owns the demand
-// instances of a single demand, runs as its own goroutine under simnet, and
-// derives every scheduling decision from the common-knowledge Plan plus the
-// messages it receives: round r's position in the fixed schedule is a pure
-// function of r, so no termination detection or coordinator hints are
-// needed.
+// node is one processor of the distributed algorithm. All shape-like state
+// (schedule, views, conflict structure, topology) lives in the shared
+// read-only runContext; the node itself owns only what genuinely varies per
+// processor — its dense local dual (one α slot plus the β copies on its
+// items' paths), its splitmix64 stream, the live set of the current step,
+// pooled outbox buffers, and its raise log. Per-demand resident state is a
+// few dozen bytes plus the local dual, which is what makes one million
+// processors fit in memory.
 type node struct {
-	id         int // node index in the simnet network
-	plan       *engine.Plan
-	mode       engine.Mode
-	budget     int               // B: Luby iterations per step
-	period     int               // 2B+1 rounds per step
-	totalSteps int               // T
-	lastRound  int               // ScheduleLength-1
-	items      []engine.Item     // own items, ascending by ID
-	views      []engine.ItemView // dense views over the core's index, aligned with items
-	neighbors  []int             // topology neighbor node ids, sorted
-	core       *engine.Core      // own α plus local β copies
-	rng        engine.Stream
+	ctx       *runContext
+	id        int32
+	own       []int32           // global ids of owned items, ascending (shared arena)
+	views     []engine.ItemView // local views aligned with own (shared arena)
+	edges     []int32           // sorted global β indices tracked locally (shared arena)
+	neighbors []int             // ctx.topology[id] (shared)
 
-	// learned from round-0 setup descriptors
-	remoteDesc  map[int]itemDesc     // remote item id -> descriptor
-	remoteCrit  map[int][]int32      // remote item id -> critical set interned into the core's index
-	remoteOwner map[int]int          // remote item id -> node id
-	conflicts   map[int]map[int]bool // own item id -> conflicting item ids
-	targets     map[int][]int        // own item id -> interested neighbor node ids
-	setupBuilt  bool
+	core engine.Core // mode + node-local dense dual
+	rng  engine.Stream
 
-	// per-step election state
-	live        []int           // own live item ids, ascending
-	drawn       map[int]float64 // own draws, current iteration
-	remoteDraws map[int]float64 // remote draws received, current iteration
+	live        []int32     // positions into own of live items, ascending
+	drawn       []float64   // priorities aligned with live
+	wins        []bool      // election scratch aligned with live
+	recvDraws   []drawEntry // draws delivered this announce round (scratch)
+	critScratch []int32     // local β indices of one announced critical set
 
-	raises []raiseRecord
+	out      []simnet.Message // pooled outbox
+	setup    setupPayload
+	drawOut  []drawPayload  // per topology neighbor, pooled entry slices
+	raiseOut []raisePayload // per topology neighbor, pooled entry slices
+
+	raises []raiseRec
 	done   bool
 }
 
-func newNode(id int, items []engine.Item, cfg engine.Config, plan *engine.Plan, budget int) *node {
-	n := &node{
-		id:          id,
-		plan:        plan,
-		mode:        cfg.Mode,
-		budget:      budget,
-		period:      2*budget + 1,
-		totalSteps:  plan.TotalSteps(),
-		items:       items,
-		core:        engine.NewCore(cfg.Mode),
-		remoteDesc:  make(map[int]itemDesc),
-		remoteCrit:  make(map[int][]int32),
-		remoteOwner: make(map[int]int),
-		drawn:       make(map[int]float64),
-		remoteDraws: make(map[int]float64),
+// newNodes constructs the processor nodes over the shared context. Each
+// node's dual is dense over its local edge numbering — no interning maps,
+// no index — and its PRNG stream is seeded from the run seed and its
+// external owner id, exactly as the engine derives per-owner streams, so
+// draws coincide.
+func (ctx *runContext) newNodes() []*node {
+	nodes := make([]*node, len(ctx.nodeItems))
+	for i := range nodes {
+		deg := len(ctx.topology[i])
+		nodes[i] = &node{
+			ctx:       ctx,
+			id:        int32(i),
+			own:       ctx.nodeItems[i],
+			views:     ctx.local[i],
+			edges:     ctx.nodeEdges[i],
+			neighbors: ctx.topology[i],
+			core:      engine.Core{Mode: ctx.mode, Dual: dual.NewDense(1, len(ctx.nodeEdges[i]))},
+			rng:       engine.NewStream(ctx.seed, ctx.nodeOwner[i]),
+			drawOut:   make([]drawPayload, deg),
+			raiseOut:  make([]raisePayload, deg),
+		}
 	}
-	// Intern the node's own items into its local dual index once; every
-	// satisfaction test and raise below addresses the dual state through
-	// these dense views, exactly as the engine's layout does.
-	n.views = make([]engine.ItemView, len(items))
-	for i := range items {
-		n.views[i] = n.core.Intern(&items[i])
-	}
-	n.lastRound = ScheduleLength(n.totalSteps, budget) - 1
-	// Every processor seeds its PRNG stream from the shared run seed and its
-	// own identity (the demand id), exactly as the engine derives per-owner
-	// streams, so draws coincide.
-	n.rng = engine.NewStream(cfg.Seed, items[0].Owner)
-	return n
+	return nodes
 }
 
 // Round implements simnet.Node.
@@ -92,37 +81,27 @@ func (n *node) Round(round int, inbox []simnet.Message) []simnet.Message {
 	if round == 0 {
 		return n.sendSetup()
 	}
+	n.recvDraws = n.recvDraws[:0]
 	for _, m := range inbox {
 		switch p := m.Payload.(type) {
 		case *setupPayload:
-			for _, d := range p.Items {
-				n.remoteDesc[d.Item] = d
-				// Intern the remote critical set once: every later raise
-				// announcement for this item replays as a tight loop over
-				// these dense β indices.
-				n.remoteCrit[d.Item] = n.core.Dual.Index().Path(d.Critical)
-				n.remoteOwner[d.Item] = m.From
-			}
+			// Conflict structure is read from the shared layout; the setup
+			// broadcast exists for its honest round/byte accounting.
 		case *drawPayload:
-			for _, d := range p.Draws {
-				n.remoteDraws[d.Item] = d.Priority
-			}
+			n.recvDraws = append(n.recvDraws, p.Draws...)
 		case *raisePayload:
 			n.absorbRaises(p)
 		}
 	}
-	if !n.setupBuilt {
-		n.buildConflicts()
-	}
 
 	var out []simnet.Message
 	pos := round - 1
-	if t := pos / n.period; t < n.totalSteps {
-		switch rel := pos % n.period; {
-		case rel == n.period-1: // settle: final announcements landed above
+	if t := pos / n.ctx.period; t < n.ctx.totalSteps {
+		switch rel := pos % n.ctx.period; {
+		case rel == n.ctx.period-1: // settle: final announcements landed above
 			if len(n.live) > 0 {
 				panic(fmt.Sprintf("dist: node %d: step %d: %d items still live after Luby budget %d; raise LubyBudgetFor",
-					n.id, t, len(n.live), n.budget))
+					n.id, t, len(n.live), n.ctx.budget))
 			}
 		case rel%2 == 0: // draw sub-round of Luby iteration rel/2
 			if rel == 0 {
@@ -133,7 +112,7 @@ func (n *node) Round(round int, inbox []simnet.Message) []simnet.Message {
 			out = n.electAndRaise(t)
 		}
 	}
-	if round >= n.lastRound {
+	if round >= n.ctx.lastRound {
 		n.finalCheck()
 		n.done = true
 	}
@@ -149,7 +128,10 @@ func (n *node) Done() bool { return n.done }
 // at which it would act spontaneously — the next sub-round of an election
 // it is still part of, else the first step of a future (epoch, stage) for
 // which it holds an unsatisfied item, else the schedule's final round
-// (where it must wake to terminate).
+// (where it must wake to terminate). The answer is a pure function of the
+// frozen state, satisfying the batched driver's stability contract.
+//
+//schedvet:hot
 func (n *node) NextActiveRound(now int) int {
 	if n.done {
 		return -1
@@ -157,98 +139,48 @@ func (n *node) NextActiveRound(now int) int {
 	if len(n.live) > 0 {
 		return now + 1
 	}
+	ctx := n.ctx
 	t := 0
 	if now >= 1 {
-		t = (now-1)/n.period + 1 // first step starting strictly after now
+		t = (now-1)/ctx.period + 1 // first step starting strictly after now
 	}
-	for t < n.totalSteps {
-		epoch, _, iter, thresh := n.plan.StepAt(t)
+	for t < ctx.totalSteps {
+		epoch, _, iter, thresh := ctx.plan.StepAt(t)
 		if n.hasUnsatisfied(epoch, thresh) {
-			return 1 + t*n.period
+			return 1 + t*ctx.period
 		}
-		t += n.plan.StepCap - iter // state is frozen: skip the rest of the stage
+		t += ctx.plan.StepCap - iter // state is frozen: skip the rest of the stage
 	}
-	if n.lastRound > now {
-		return n.lastRound
+	if ctx.lastRound > now {
+		return ctx.lastRound
 	}
 	return now + 1
 }
 
+//schedvet:hot
 func (n *node) hasUnsatisfied(epoch int, thresh float64) bool {
-	for i := range n.items {
-		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
+	items := n.ctx.items
+	for i := range n.own {
+		if items[n.own[i]].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
 			return true
 		}
 	}
 	return false
 }
 
-// sendSetup broadcasts the node's item descriptors to its topology
-// neighbors in round 0.
+// sendSetup broadcasts the node's item ids to its topology neighbors in
+// round 0.
 func (n *node) sendSetup() []simnet.Message {
 	if len(n.neighbors) == 0 {
 		return nil
 	}
-	descs := make([]itemDesc, len(n.items))
-	for i := range n.items {
-		it := &n.items[i]
-		descs[i] = itemDesc{Item: it.ID, Demand: it.Demand, Edges: it.Edges, Critical: it.Critical}
+	n.setup.Items = n.own
+	out := n.out[:0]
+	for _, to := range n.neighbors {
+		out = append(out, simnet.Message{From: int(n.id), To: to, Payload: &n.setup})
 	}
-	return simnet.Broadcast(n.id, n.neighbors, &setupPayload{Items: descs})
-}
-
-// buildConflicts derives, from the setup descriptors, each own item's
-// conflict set (shared demand or shared path edge) and the neighbors
-// interested in its draws and raises.
-func (n *node) buildConflicts() {
-	n.setupBuilt = true
-	n.conflicts = make(map[int]map[int]bool, len(n.items))
-	n.targets = make(map[int][]int, len(n.items))
-	for i := range n.items {
-		n.conflicts[n.items[i].ID] = make(map[int]bool)
-	}
-	// Own items always share the demand, hence mutually conflict.
-	for i := range n.items {
-		for j := range n.items {
-			if i != j {
-				n.conflicts[n.items[i].ID][n.items[j].ID] = true
-			}
-		}
-	}
-	ownEdges := make(map[model.EdgeKey][]int)
-	for i := range n.items {
-		for _, e := range n.items[i].Edges {
-			ownEdges[e] = append(ownEdges[e], n.items[i].ID)
-		}
-	}
-	//schedvet:ok maprange per-remote work is independent set inserts into n.conflicts; order never observed
-	for rid, d := range n.remoteDesc {
-		seen := make(map[int]bool)
-		if d.Demand == n.items[0].Demand {
-			for i := range n.items {
-				seen[n.items[i].ID] = true
-			}
-		}
-		for _, e := range d.Edges {
-			for _, own := range ownEdges[e] {
-				seen[own] = true
-			}
-		}
-		//schedvet:ok maprange boolean set inserts commute; order never observed
-		for own := range seen {
-			n.conflicts[own][rid] = true
-		}
-	}
-	for _, it := range n.items {
-		nodes := make(map[int]bool)
-		//schedvet:ok maprange boolean set inserts commute; order never observed
-		for w := range n.conflicts[it.ID] {
-			if owner, ok := n.remoteOwner[w]; ok {
-				nodes[owner] = true
-			}
-		}
-		n.targets[it.ID] = slices.Sorted(maps.Keys(nodes))
-	}
+	n.out = out
+	return out
 }
 
 // beginStep computes the node's live set for step t: its items in the
@@ -260,152 +192,173 @@ func (n *node) buildConflicts() {
 // item is also unsatisfied at the new, higher threshold, so NextActiveRound
 // names exactly this step start. Epoch boundaries are covered by finalCheck.
 func (n *node) beginStep(t int) {
-	epoch, stage, _, thresh := n.plan.StepAt(t)
+	epoch, stage, _, thresh := n.ctx.plan.StepAt(t)
 	if t > 0 {
-		pEpoch, pStage, _, pThresh := n.plan.StepAt(t - 1)
+		pEpoch, pStage, _, pThresh := n.ctx.plan.StepAt(t - 1)
 		if pEpoch == epoch && pStage != stage && n.hasUnsatisfied(pEpoch, pThresh) {
 			panic(fmt.Sprintf("dist: node %d: epoch %d stage %d exhausted %d steps with items unsatisfied; Lemma 5.1 cap violated",
-				n.id, pEpoch, pStage, n.plan.StepCap))
+				n.id, pEpoch, pStage, n.ctx.plan.StepCap))
 		}
 	}
 	n.live = n.live[:0]
-	for i := range n.items {
-		if n.items[i].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
-			n.live = append(n.live, n.items[i].ID)
+	items := n.ctx.items
+	for i := range n.own {
+		if items[n.own[i]].Group == epoch && n.core.Unsatisfied(&n.views[i], thresh) {
+			n.live = append(n.live, int32(i))
 		}
 	}
 }
 
 // sendDraws draws a fresh priority for every live item (ascending item
-// order, matching the engine's draw schedule) and sends each draw to the
-// neighbors owning a conflicting item.
+// order, matching the engine's draw schedule) and buckets each draw into
+// the pooled per-neighbor payloads of the neighbors owning a conflicting
+// item.
+//
+//schedvet:hot
 func (n *node) sendDraws() []simnet.Message {
-	n.remoteDraws = make(map[int]float64)
 	if len(n.live) == 0 {
 		return nil
 	}
-	n.drawn = make(map[int]float64, len(n.live))
-	entries := make(map[int][]drawEntry)
-	for _, id := range n.live {
+	if cap(n.drawn) < len(n.live) {
+		n.drawn = make([]float64, len(n.live))
+	}
+	n.drawn = n.drawn[:len(n.live)]
+	for j := range n.drawOut {
+		n.drawOut[j].Draws = n.drawOut[j].Draws[:0]
+	}
+	ctx := n.ctx
+	for i, pos := range n.live {
+		x := n.own[pos]
 		pr := n.rng.Float64()
-		n.drawn[id] = pr
-		for _, to := range n.targets[id] {
-			entries[to] = append(entries[to], drawEntry{Item: id, Priority: pr})
+		n.drawn[i] = pr
+		for _, j := range ctx.targets[x] {
+			n.drawOut[j].Draws = append(n.drawOut[j].Draws, drawEntry{Item: x, Priority: pr})
 		}
 	}
-	return n.packMessages(entries, nil)
+	out := n.out[:0]
+	for j := range n.drawOut {
+		if len(n.drawOut[j].Draws) > 0 {
+			out = append(out, simnet.Message{From: int(n.id), To: n.neighbors[j], Payload: &n.drawOut[j]})
+		}
+	}
+	n.out = out
+	return out
 }
 
 // electAndRaise decides, for each live item, whether it won this Luby
 // iteration (it beats every live conflicting item by priority, ties broken
 // by item id — the engine's rule verbatim), performs the winners' raises
-// through the shared protocol core, and announces them.
+// through the shared protocol core, and announces them. A draw received
+// for remote item w is exactly "w is live this iteration", so the
+// conjunction runs over the delivered draw entries filtered by the shared
+// adjacency — no per-node conflict sets needed. Any win clears the whole
+// live set: a node's items share its demand, so they all conflict with the
+// winner.
+//
+//schedvet:hot
 func (n *node) electAndRaise(t int) []simnet.Message {
 	if len(n.live) == 0 {
 		return nil
 	}
-	liveOwn := make(map[int]bool, len(n.live))
-	for _, id := range n.live {
-		liveOwn[id] = true
+	ctx := n.ctx
+	if cap(n.wins) < len(n.live) {
+		n.wins = make([]bool, len(n.live))
 	}
-	var winners []int
-	for _, x := range n.live {
-		px := n.drawn[x]
-		wins := true
-		//schedvet:ok maprange pure conjunction over neighbors; early exit cannot change the result
-		for w := range n.conflicts[x] {
-			var pw float64
-			if liveOwn[w] {
-				pw = n.drawn[w]
-			} else if p, ok := n.remoteDraws[w]; ok {
-				pw = p
-			} else {
-				continue // not live this iteration
+	wins := n.wins[:len(n.live)]
+	for i := range wins {
+		wins[i] = true
+	}
+	for i, pi := range n.live {
+		x := n.own[pi]
+		px := n.drawn[i]
+		for j, pj := range n.live {
+			if i == j {
+				continue
 			}
-			if pw < px || (pw == px && w < x) {
-				wins = false
+			w := n.own[pj]
+			if pw := n.drawn[j]; pw < px || (pw == px && w < x) {
+				wins[i] = false
 				break
 			}
 		}
-		if wins {
-			winners = append(winners, x)
-		}
 	}
-	if len(winners) == 0 {
-		return nil
-	}
-	eliminated := make(map[int]bool)
-	entries := make(map[int][]raiseEntry)
-	for _, x := range winners {
-		delta := n.core.Raise(n.viewByID(x))
-		n.raises = append(n.raises, raiseRecord{Step: t, Item: x, Delta: delta})
-		eliminated[x] = true
-		//schedvet:ok maprange boolean set inserts commute; order never observed
-		for w := range n.conflicts[x] {
-			if liveOwn[w] {
-				eliminated[w] = true
+	for _, d := range n.recvDraws {
+		for i, pi := range n.live {
+			if !wins[i] {
+				continue
+			}
+			x := n.own[pi]
+			if !ctx.conflict(x, d.Item) {
+				continue
+			}
+			if d.Priority < n.drawn[i] || (d.Priority == n.drawn[i] && d.Item < x) {
+				wins[i] = false
 			}
 		}
-		for _, to := range n.targets[x] {
-			entries[to] = append(entries[to], raiseEntry{Item: x, Delta: delta})
+	}
+	for j := range n.raiseOut {
+		n.raiseOut[j].Raises = n.raiseOut[j].Raises[:0]
+	}
+	winner := false
+	for i, pi := range n.live {
+		if !wins[i] {
+			continue
+		}
+		winner = true
+		x := n.own[pi]
+		delta := n.core.Raise(&n.views[pi])
+		n.raises = append(n.raises, raiseRec{Step: int32(t), Item: x, Delta: delta})
+		for _, j := range ctx.targets[x] {
+			n.raiseOut[j].Raises = append(n.raiseOut[j].Raises, raiseEntry{Item: x, Delta: delta})
 		}
 	}
-	kept := n.live[:0]
-	for _, id := range n.live {
-		if !eliminated[id] {
-			kept = append(kept, id)
+	if !winner {
+		return nil
+	}
+	n.live = n.live[:0]
+	out := n.out[:0]
+	for j := range n.raiseOut {
+		if len(n.raiseOut[j].Raises) > 0 {
+			out = append(out, simnet.Message{From: int(n.id), To: n.neighbors[j], Payload: &n.raiseOut[j]})
 		}
 	}
-	n.live = kept
-	return n.packMessages(nil, entries)
+	n.out = out
+	return out
 }
 
-// absorbRaises replays remote raises: β copies gain exactly what the raiser
-// added (via the shared BetaGain rule over the interned critical indices),
-// and live items conflicting with the raised item leave the current
-// election.
+// absorbRaises replays remote raises: the locally-tracked β copies on the
+// raised item's critical set gain exactly what the raiser added. The gain
+// is computed from the FULL critical length (engine.BetaGain's contract)
+// and applied to the subset of critical edges this node tracks — any
+// critical edge also on one of this node's paths — so each tracked β
+// receives the identical += sequence the raiser and the engine perform.
+// Live items conflicting with the raised item leave the current election.
+//
+//schedvet:hot
 func (n *node) absorbRaises(p *raisePayload) {
+	ctx := n.ctx
 	for _, r := range p.Raises {
-		crit, ok := n.remoteCrit[r.Item]
-		if !ok {
-			panic(fmt.Sprintf("dist: node %d: raise announcement for unknown item %d", n.id, r.Item))
+		crit := ctx.views[r.Item].Critical
+		gain := engine.BetaGain(n.core.Mode, len(crit), r.Delta)
+		sc := n.critScratch[:0]
+		for _, g := range crit {
+			if li, ok := findIdx(n.edges, g); ok {
+				sc = append(sc, li)
+			}
 		}
-		n.core.ApplyRaise(crit, r.Delta)
+		n.critScratch = sc
+		n.core.Dual.AddBeta(sc, gain)
 		if len(n.live) == 0 {
 			continue
 		}
 		kept := n.live[:0]
-		for _, id := range n.live {
-			if !n.conflicts[id][r.Item] {
-				kept = append(kept, id)
+		for _, pi := range n.live {
+			if !ctx.conflict(n.own[pi], r.Item) {
+				kept = append(kept, pi)
 			}
 		}
 		n.live = kept
 	}
-}
-
-// packMessages folds per-neighbor entry lists into at most one message per
-// neighbor, in ascending neighbor order.
-func (n *node) packMessages(draws map[int][]drawEntry, raises map[int][]raiseEntry) []simnet.Message {
-	var out []simnet.Message
-	for _, to := range n.neighbors {
-		if ds, ok := draws[to]; ok {
-			out = append(out, simnet.Message{From: n.id, To: to, Payload: &drawPayload{Draws: ds}})
-		}
-		if rs, ok := raises[to]; ok {
-			out = append(out, simnet.Message{From: n.id, To: to, Payload: &raisePayload{Raises: rs}})
-		}
-	}
-	return out
-}
-
-func (n *node) viewByID(id int) *engine.ItemView {
-	for i := range n.items {
-		if n.items[i].ID == id {
-			return &n.views[i]
-		}
-	}
-	panic(fmt.Sprintf("dist: node %d does not own item %d", n.id, id))
 }
 
 // finalCheck asserts, at the end of the schedule, the invariant the engine
@@ -413,14 +366,44 @@ func (n *node) viewByID(id int) *engine.ItemView {
 // threshold. A violation means a stage ran out of step slots — the same
 // condition the engine reports as a Lemma 5.1 cap violation.
 func (n *node) finalCheck() {
-	if n.plan.Stages == 0 {
+	if n.ctx.plan.Stages == 0 {
 		return
 	}
-	thresh := n.plan.Thresholds[n.plan.Stages-1]
-	for i := range n.items {
+	thresh := n.ctx.plan.Thresholds[n.ctx.plan.Stages-1]
+	for i := range n.own {
 		if n.core.Unsatisfied(&n.views[i], thresh) {
 			panic(fmt.Sprintf("dist: node %d: item %d unsatisfied at final threshold %.6f; step cap exceeded",
-				n.id, n.items[i].ID, thresh))
+				n.id, n.own[i], thresh))
 		}
 	}
+}
+
+// Per-entry resident sizes for stateBytes (struct sizes on 64-bit).
+const (
+	nodeFixedBytes = 432 // node struct + dual.Assignment headers
+	messageBytes   = 32  // Message: From, To, Payload interface
+	entryBytes     = 16  // drawEntry / raiseEntry / raiseRec
+)
+
+// stateBytes reports the node's resident private state: the capacity bytes
+// of every mutable per-node slice plus the fixed struct overhead. Shared
+// arenas (own/views/edges/neighbors rows) are accounted once, in
+// runContext.sharedBytes, not here — that split is the compaction headline
+// Result.NodeStateBytes/SharedStateBytes report.
+func (n *node) stateBytes() int64 {
+	b := int64(nodeFixedBytes)
+	b += n.core.Dual.StateBytes()
+	b += int64(cap(n.live))*4 + int64(cap(n.drawn))*8 + int64(cap(n.wins))
+	b += int64(cap(n.recvDraws)) * entryBytes
+	b += int64(cap(n.critScratch)) * 4
+	b += int64(cap(n.out)) * messageBytes
+	b += int64(cap(n.drawOut))*sliceHeaderBytes + int64(cap(n.raiseOut))*sliceHeaderBytes
+	for j := range n.drawOut {
+		b += int64(cap(n.drawOut[j].Draws)) * entryBytes
+	}
+	for j := range n.raiseOut {
+		b += int64(cap(n.raiseOut[j].Raises)) * entryBytes
+	}
+	b += int64(cap(n.raises)) * entryBytes
+	return b
 }

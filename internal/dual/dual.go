@@ -209,8 +209,26 @@ func NewWithIndex(ix *Index) *Assignment {
 	}
 }
 
+// NewDense returns an assignment over pre-sized dense storage and no index:
+// `demands` α slots and `edges` β slots, all zero. It serves callers that do
+// their own slot addressing — a dist node keeps one node-local assignment
+// over its node-local edge numbering, so a million-processor run carries no
+// per-node interning maps at all. Such an assignment supports exactly the
+// index-free hot-path methods (Alpha, Beta, BetaSum, LHS, Satisfied,
+// RaiseUnit, RaiseNarrow, AddBeta, StateBytes); the key-addressed layer and
+// Value need an index and must not be called on it.
+func NewDense(demands, edges int) *Assignment {
+	return &Assignment{alpha: make([]float64, demands), beta: make([]float64, edges)}
+}
+
 // Index returns the assignment's index.
 func (a *Assignment) Index() *Index { return a.ix }
+
+// StateBytes reports the resident bytes of the assignment's dense slices —
+// the per-processor dual footprint the dist runtime accounts for.
+func (a *Assignment) StateBytes() int64 {
+	return int64(cap(a.alpha)+cap(a.beta)) * 8
+}
 
 // Alpha returns α at a demand slot.
 func (a *Assignment) Alpha(slot int32) float64 {

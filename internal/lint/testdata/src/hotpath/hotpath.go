@@ -117,3 +117,46 @@ func hotPartitioned(p pool, xs, out []float64) float64 {
 func hotPoolBoxed(submit func(task any)) {
 	submit(func(lo, hi int) {}) // want `hotpath: hot function hotPoolBoxed boxes func`
 }
+
+// --- batched-delivery shapes (the simnet transport / round scheduler) ----
+
+// payload and message mirror simnet's Message: a small by-value struct
+// whose payload field is already an interface, so moving it between pooled
+// buffers copies a header without boxing anything.
+type payload interface{ Size() int }
+
+type message struct {
+	from, to int
+	body     payload
+}
+
+// hotBatchedDeliver is the batched round-delivery kernel: bucket an outbox
+// into pooled per-recipient inbox slices by struct-value append (ascending
+// sender order is delivery order — no sort), then flip the double buffer
+// by re-slicing. Clean: no maps, no defers, no interface conversions.
+//
+//schedvet:hot
+func hotBatchedDeliver(out []message, cur, nxt [][]message) ([][]message, [][]message) {
+	for _, m := range out {
+		nxt[m.to] = append(nxt[m.to], m)
+	}
+	for i := range cur {
+		cur[i] = cur[i][:0]
+	}
+	return nxt, cur
+}
+
+// intBody is a concrete payload implementation.
+type intBody int
+
+func (intBody) Size() int { return 1 }
+
+// hotPayloadBoxed re-boxes a concrete payload through an explicit
+// interface conversion on the delivery path — flagged: in the pooled
+// runtime a payload is boxed once when its buffer is built and travels
+// behind the interface from then on.
+//
+//schedvet:hot
+func hotPayloadBoxed(to int, v intBody) message {
+	return message{to: to, body: payload(v)} // want `hotpath: hot function hotPayloadBoxed boxes .*intBody into`
+}

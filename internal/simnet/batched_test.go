@@ -1,0 +1,314 @@
+package simnet
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ffWrap upgrades any test Node to a FastForwarder with the conservative
+// schedule "active every round until Done": correct for every node, never
+// sparse. Used to drive the batched scheduler's error paths with the plain
+// test nodes.
+type ffWrap struct {
+	Node
+}
+
+func (w ffWrap) NextActiveRound(now int) int {
+	if w.Done() {
+		return -1
+	}
+	return now + 1
+}
+
+// ffEcho is echoNode plus a fast-forward schedule (active until it has run
+// its round-1 receive).
+type ffEcho struct {
+	echoNode
+}
+
+func (n *ffEcho) NextActiveRound(now int) int {
+	if n.Done() {
+		return -1
+	}
+	return now + 1
+}
+
+func TestBatchedRoundTripDelivery(t *testing.T) {
+	// Triangle topology: the batched scheduler must deliver each inbox in
+	// ascending sender order without any sorting (ascending-sender append
+	// order IS delivery order).
+	topo := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	nodes := make([]Node, 3)
+	echoes := make([]*ffEcho, 3)
+	for i := range nodes {
+		echoes[i] = &ffEcho{echoNode{id: i, neighbors: topo[i]}}
+		nodes[i] = echoes[i]
+	}
+	nw, err := New(nodes, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := nw.RunBatched(10, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 6 {
+		t.Errorf("messages = %d, want 6", stats.Messages)
+	}
+	for i, e := range echoes {
+		if len(e.heard) != 2 {
+			t.Errorf("node %d heard %v, want 2 messages", i, e.heard)
+		}
+		for j := 1; j < len(e.heard); j++ {
+			if e.heard[j] < e.heard[j-1] {
+				t.Errorf("node %d inbox out of order: %v", i, e.heard)
+			}
+		}
+	}
+}
+
+// TestBatchedStatsMatchGoroutine is the driver-parity pin at the simnet
+// level: identical node programs under both drivers yield bit-identical
+// Stats — rounds, busy rounds, skipped rounds, messages, sizes.
+func TestBatchedStatsMatchGoroutine(t *testing.T) {
+	build := func() ([]Node, [][]int) {
+		// Two components: a 5-node token chain (active every round until the
+		// token passes) and a pair of far-future sleepers exercising the
+		// fast-forward path.
+		n := 7
+		nodes := make([]Node, n)
+		topo := make([][]int, n)
+		for i := 0; i < 5; i++ {
+			nodes[i] = ffWrap{&chainNode{id: i, n: 5}}
+			if i > 0 {
+				topo[i] = append(topo[i], i-1)
+			}
+			if i < 4 {
+				topo[i] = append(topo[i], i+1)
+			}
+		}
+		nodes[5] = &sleeperNode{id: 5, wake: 400, peer: 6}
+		nodes[6] = &sleeperNode{id: 6, wake: 900, peer: 5}
+		topo[5] = []int{6}
+		topo[6] = []int{5}
+		return nodes, topo
+	}
+
+	gNodes, gTopo := build()
+	gnw, err := New(gNodes, gTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gStats, err := gnw.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bNodes, bTopo := build()
+	bnw, err := New(bNodes, bTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bStats, err := bnw.RunBatched(2000, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gStats, bStats) {
+		t.Errorf("drivers disagree on Stats:\ngoroutine %+v\nbatched   %+v", gStats, bStats)
+	}
+}
+
+// TestBatchedComponentIsolation pins sparse stepping: a component that
+// finishes early is never stepped again while an unrelated component keeps
+// the run alive for hundreds of rounds.
+func TestBatchedComponentIsolation(t *testing.T) {
+	topo := [][]int{{1}, {0}, {3}, {2}}
+	early := []*ffEcho{
+		{echoNode{id: 0, neighbors: []int{1}}},
+		{echoNode{id: 1, neighbors: []int{0}}},
+	}
+	late := []*sleeperNode{
+		{id: 2, wake: 500, peer: 3},
+		{id: 3, wake: 600, peer: 2},
+	}
+	nodes := []Node{early[0], early[1], late[0], late[1]}
+	nw, err := New(nodes, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := nw.RunBatched(2000, BatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds < 600 {
+		t.Errorf("rounds = %d, want ≥ 600 (sleeper schedule preserved)", stats.Rounds)
+	}
+	if stats.SkippedRounds < 400 {
+		t.Errorf("skipped = %d, want most of the idle stretch", stats.SkippedRounds)
+	}
+	// The echo pair acts in rounds 0 and 1 only; per-component scheduling
+	// must not step it during the sleepers' 600-round tail.
+	for i, e := range early {
+		if e.round > 1 {
+			t.Errorf("early node %d stepped at round %d after finishing", i, e.round)
+		}
+	}
+	for i, s := range late {
+		if s.executed > 10 {
+			t.Errorf("sleeper %d executed %d rounds; component fast-forward ineffective", i, s.executed)
+		}
+	}
+	if stats.Messages != 4 {
+		t.Errorf("messages = %d, want 4", stats.Messages)
+	}
+}
+
+func TestBatchedRequiresFastForwarder(t *testing.T) {
+	nw, err := New([]Node{&idleNode{}}, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(5, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "FastForwarder") {
+		t.Fatalf("want FastForwarder requirement error, got %v", err)
+	}
+}
+
+func TestBatchedDeadlockDetected(t *testing.T) {
+	nw, err := New([]Node{&stallerNode{}}, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(100, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestBatchedRejectsPastRounds(t *testing.T) {
+	nw, err := New([]Node{&badForwarder{}}, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(100, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "non-future") {
+		t.Fatalf("want non-future error, got %v", err)
+	}
+}
+
+func TestBatchedTopologyEnforced(t *testing.T) {
+	nodes := []Node{ffWrap{&violatorNode{}}, ffWrap{&idleNode{}}}
+	nw, err := New(nodes, [][]int{{}, {}}) // no links
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(5, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "non-neighbor") {
+		t.Fatalf("expected topology violation, got %v", err)
+	}
+}
+
+func TestBatchedMaxRoundsExceeded(t *testing.T) {
+	nw, err := New([]Node{ffWrap{&neverDone{}}}, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(7, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "7 rounds") {
+		t.Fatalf("expected round-limit error, got %v", err)
+	}
+}
+
+func TestBatchedNodePanicSurfacesAsError(t *testing.T) {
+	nw, err := New([]Node{ffWrap{&panicNode{}}}, [][]int{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(10, BatchConfig{}); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestBatchedRunTwiceFails(t *testing.T) {
+	mk := func() *Network {
+		nw, err := New([]Node{&sleeperNode{id: 0, wake: 1, peer: -1}}, [][]int{{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	nw := mk()
+	if _, err := nw.RunBatched(10, BatchConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(10, BatchConfig{}); err == nil {
+		t.Error("second RunBatched should fail")
+	}
+	// Mixing drivers on one network is also a double run.
+	nw = mk()
+	if _, err := nw.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.RunBatched(10, BatchConfig{}); err == nil {
+		t.Error("RunBatched after Run should fail")
+	}
+}
+
+// TestBatchedWorkerCountsAgree pins that the stepping pool size cannot
+// affect results: serial (1 worker) and maximal pools produce identical
+// Stats on a workload wide enough to cross stepGrain.
+func TestBatchedWorkerCountsAgree(t *testing.T) {
+	build := func() ([]Node, [][]int) {
+		n := 128
+		nodes := make([]Node, n)
+		topo := make([][]int, n)
+		for i := 0; i < n; i += 2 {
+			nodes[i] = &sleeperNode{id: i, wake: 3 + i%7, peer: i + 1}
+			nodes[i+1] = &sleeperNode{id: i + 1, wake: 5 + i%11, peer: i}
+			topo[i] = []int{i + 1}
+			topo[i+1] = []int{i}
+		}
+		return nodes, topo
+	}
+	var ref Stats
+	for trial, workers := range []int{1, 0} {
+		nodes, topo := build()
+		nw, err := New(nodes, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := nw.RunBatched(100, BatchConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			ref = stats
+		} else if !reflect.DeepEqual(ref, stats) {
+			t.Errorf("workers=%d Stats %+v differ from serial %+v", workers, stats, ref)
+		}
+	}
+}
+
+func TestBatchedNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		topo := [][]int{{1, 2}, {0, 2}, {0, 1}}
+		nodes := make([]Node, 3)
+		for i := range nodes {
+			nodes[i] = &ffEcho{echoNode{id: i, neighbors: topo[i]}}
+		}
+		nw, err := New(nodes, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.RunBatched(10, BatchConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+}

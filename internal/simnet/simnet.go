@@ -5,17 +5,21 @@
 // it is directly connected to (in this problem: processors sharing an
 // accessible network).
 //
-// Each processor runs as its own goroutine; the coordinator drives rounds
-// over channels, so the message-passing structure of the algorithm maps
-// one-to-one onto Go's concurrency primitives. Delivery is deterministic:
-// inboxes are sorted by (sender, emission order). The simulator counts
-// rounds, messages and message sizes; local computation is free, exactly as
-// in the model.
+// Two drivers execute the same Node interface. The original one runs each
+// processor as its own goroutine with the coordinator driving rounds over
+// channels (Run); the batched scheduler (RunBatched, batched.go) buckets
+// delivery per round and steps only the nodes that have mail or a
+// spontaneous action, which is what makes million-node networks simulable.
+// Delivery is deterministic under both: each recipient's inbox is appended
+// per sender in ascending sender order, which IS the (sender, emission
+// order) delivery order — no sort needed. Messages move through an explicit
+// Transport seam (transport.go). The simulator counts rounds, messages and
+// message sizes; local computation is free, exactly as in the model.
 package simnet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -37,8 +41,11 @@ type Message struct {
 // next round). Done reports local termination; the network stops when every
 // node is done and no messages are in flight.
 //
-// A Node's methods are called from its own goroutine; nodes must not share
-// mutable state.
+// The goroutine driver calls a Node's methods from its own goroutine; the
+// batched driver calls them from worker-pool lanes, one node at a time.
+// Either way, nodes must not share mutable state. The inbox slice and its
+// payloads are valid only for the duration of the Round call — the drivers
+// pool delivery buffers across rounds.
 type Node interface {
 	Round(round int, inbox []Message) (outbox []Message)
 	Done() bool
@@ -54,14 +61,19 @@ type Stats struct {
 	MaxMessageSize int // largest single payload
 }
 
-// FastForwarder is an optional Node extension. When a round moves no
-// messages, the coordinator may skip ahead to the earliest round at which
-// some node would act spontaneously (send without first receiving). A node
-// returns the earliest such future round (> now), or -1 if it will never act
-// again unless a message arrives. Skipped rounds are counted in
-// Stats.Rounds/SkippedRounds but not executed; this is a pure simulation
-// acceleration — the synchronous schedule is unchanged because idle
-// processors neither send nor mutate shared state.
+// FastForwarder is an optional Node extension (mandatory for the batched
+// driver). When a round moves no messages, the coordinator may skip ahead to
+// the earliest round at which some node would act spontaneously (send
+// without first receiving). A node returns the earliest such future round
+// (> now), or -1 if it will never act again unless a message arrives.
+// Skipped rounds are counted in Stats.Rounds/SkippedRounds but not executed;
+// this is a pure simulation acceleration — the synchronous schedule is
+// unchanged because idle processors neither send nor mutate shared state.
+//
+// The batched driver additionally relies on the answer being stable while
+// the node is idle: NextActiveRound must be a pure function of the node's
+// frozen state, so that the value recorded when the node was last stepped
+// stays valid until mail or its own round arrives.
 type FastForwarder interface {
 	NextActiveRound(now int) int
 }
@@ -69,7 +81,7 @@ type FastForwarder interface {
 // Network couples nodes with a communication topology.
 type Network struct {
 	nodes    []Node
-	allowed  []map[int]bool // topology: allowed[i][j] iff i may send to j
+	nbrs     [][]int // topology: sorted neighbor ids per node
 	handles  []nodeHandle
 	started  bool
 	stopOnce sync.Once
@@ -84,6 +96,7 @@ type roundInput struct {
 type roundOutput struct {
 	outbox []Message
 	done   bool
+	next   int   // NextActiveRound answer (batched driver); -1 = never
 	err    error // non-nil if the node panicked
 }
 
@@ -94,14 +107,14 @@ type nodeHandle struct {
 
 // New builds a network of nodes with the given topology (adjacency lists;
 // symmetric is expected but not required). Nodes may only send to their
-// topology neighbors; violations fail the run.
+// topology neighbors; violations fail the run. The rows are copied and
+// sorted so membership tests run by binary search — no per-node maps.
 func New(nodes []Node, topology [][]int) (*Network, error) {
 	if len(topology) != len(nodes) {
 		return nil, fmt.Errorf("simnet: %d nodes but %d topology rows", len(nodes), len(topology))
 	}
-	nw := &Network{nodes: nodes, allowed: make([]map[int]bool, len(nodes))}
+	nw := &Network{nodes: nodes, nbrs: make([][]int, len(nodes))}
 	for i, nbrs := range topology {
-		nw.allowed[i] = make(map[int]bool, len(nbrs))
 		for _, j := range nbrs {
 			if j < 0 || j >= len(nodes) {
 				return nil, fmt.Errorf("simnet: node %d lists invalid neighbor %d", i, j)
@@ -109,10 +122,30 @@ func New(nodes []Node, topology [][]int) (*Network, error) {
 			if j == i {
 				return nil, fmt.Errorf("simnet: node %d lists itself as neighbor", i)
 			}
-			nw.allowed[i][j] = true
 		}
+		row := slices.Clone(nbrs)
+		slices.Sort(row)
+		nw.nbrs[i] = row
 	}
 	return nw, nil
+}
+
+// allowedTo reports whether i may send to j: binary search of i's sorted
+// neighbor row.
+//
+//schedvet:hot
+func (nw *Network) allowedTo(i, j int) bool {
+	row := nw.nbrs[i]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == j
 }
 
 // start launches one goroutine per node.
@@ -156,9 +189,10 @@ func (nw *Network) stop() {
 	})
 }
 
-// Run executes rounds until every node reports Done and no messages are in
-// flight, or maxRounds elapses (an error). It returns the communication
-// statistics.
+// Run executes rounds on the goroutine driver until every node reports Done
+// and no messages are in flight, or maxRounds elapses (an error). It returns
+// the communication statistics. Kept as the cross-check against RunBatched:
+// same nodes, same Stats, radically different execution.
 func (nw *Network) Run(maxRounds int) (Stats, error) {
 	if nw.started {
 		return Stats{}, fmt.Errorf("simnet: network already run")
@@ -167,7 +201,7 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 	defer nw.stop()
 
 	var stats Stats
-	inboxes := make([][]Message, len(nw.nodes))
+	tr := NewMemTransport(len(nw.nodes))
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return stats, fmt.Errorf("simnet: exceeded %d rounds without termination", maxRounds)
@@ -175,12 +209,12 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 		stats.Rounds++
 		busy := false
 		for i := range nw.nodes {
-			if len(inboxes[i]) > 0 {
+			inbox := tr.Inbox(i)
+			if len(inbox) > 0 {
 				busy = true
 			}
-			nw.handles[i].in <- roundInput{round: round, inbox: inboxes[i]}
+			nw.handles[i].in <- roundInput{round: round, inbox: inbox}
 		}
-		next := make([][]Message, len(nw.nodes))
 		allDone := true
 		sent := 0
 		var nodeErr error
@@ -192,17 +226,21 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 			if !out.done {
 				allDone = false
 			}
+			// Committing outboxes in ascending node order makes each
+			// recipient's inbox sorted by (sender, emission order) by
+			// construction — the delivery-determinism invariant, formerly
+			// restored by a per-round sort, is now a property of this loop.
 			for _, m := range out.outbox {
 				if m.From != i {
 					return stats, fmt.Errorf("simnet: node %d forged sender %d", i, m.From)
 				}
-				if !nw.allowed[i][m.To] {
+				if !nw.allowedTo(i, m.To) {
 					return stats, fmt.Errorf("simnet: node %d sent to non-neighbor %d", i, m.To)
 				}
 				if m.Payload == nil {
 					return stats, fmt.Errorf("simnet: node %d sent nil payload", i)
 				}
-				next[m.To] = append(next[m.To], m)
+				tr.Send(m)
 				sent++
 				size := m.Payload.Size()
 				stats.TotalSize += size
@@ -221,14 +259,7 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 		if busy {
 			stats.BusyRounds++
 		}
-		// Deterministic delivery order: by (sender, emission order). The
-		// append order above already groups by sender in increasing order,
-		// but sort defensively so delivery never depends on scheduling.
-		for i := range next {
-			msgs := next[i]
-			sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
-			inboxes[i] = msgs
-		}
+		tr.Flip()
 		if allDone && sent == 0 {
 			return stats, nil
 		}
