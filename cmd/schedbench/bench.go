@@ -12,6 +12,7 @@ import (
 	treesched "treesched"
 	"treesched/internal/dist"
 	"treesched/internal/engine"
+	"treesched/internal/obs"
 	"treesched/internal/serve"
 	"treesched/internal/workload"
 )
@@ -73,6 +74,12 @@ type BenchResult struct {
 	// quantity the million-demand runtime is sized by.
 	Messages       int64 `json:"messages,omitempty"`
 	BytesPerDemand int64 `json:"bytes_per_demand,omitempty"`
+	// Phases is the per-phase wall-time breakdown of the scenario's
+	// iterations, present only under -trace-json (additive to the v1
+	// schema). Traced rows carry the recorder's no-op-bounded overhead in
+	// their timings, so trace reports are for diagnosis, not for gating
+	// against untraced snapshots.
+	Phases []BenchPhase `json:"phases,omitempty"`
 }
 
 // benchScenario is a workload shape swept by the bench run.
@@ -118,8 +125,9 @@ func benchScenarios(quick bool) []benchScenario {
 }
 
 // runBenchJSON executes the scenarios at parallelism 1 and max(4, NumCPU)
-// and writes the report to path.
-func runBenchJSON(path string, seed int64, quick bool) error {
+// and writes the report to path. With trace, an obs.Recorder rides along on
+// every engine/churn/dist scenario and each row embeds its phase breakdown.
+func runBenchJSON(path string, seed int64, quick, trace bool) error {
 	// Quick shrinks the fleet workload only; the iteration count stays at 5
 	// so a quick row and a full row of the same scenario are best-of the
 	// same sample size — -compare gates quick CI runs against checked-in
@@ -154,14 +162,15 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 		components := len(engine.ConflictComponents(engine.BuildConflicts(items)))
 		var serialNs int64
 		for _, p := range []int{1, parallel} {
-			ns, err := timeSolve(items, seed, p, iters)
+			rec := benchRecorder(trace)
+			ns, err := timeSolve(items, seed, p, iters, engineRecorder(rec))
 			if err != nil {
 				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
 			}
 			if p == 1 {
 				serialNs = ns
 			}
-			report.Results = append(report.Results, BenchResult{
+			res := BenchResult{
 				Name:            sc.name,
 				Items:           len(items),
 				Components:      components,
@@ -173,6 +182,46 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				ItemsPerSec:     float64(len(items)) * 1e9 / float64(ns),
 				SerialNsPerOp:   serialNs,
 				SpeedupVsSerial: float64(serialNs) / float64(ns),
+			}
+			if rec != nil {
+				res.Phases = phasesFrom(rec)
+			}
+			report.Results = append(report.Results, res)
+		}
+	}
+
+	// The recorder-overhead scenario: the headline workload solved with a
+	// no-op recorder attached versus none, interleaved in one process so the
+	// row is self-contained (NsPerOp = attached, SerialNsPerOp = nil
+	// baseline). -recorder-gate reads it back and enforces the budget; it
+	// runs in quick mode because that is what CI measures.
+	{
+		cfg := workload.TreeConfig{Vertices: 1024, Trees: 3, Demands: 768, ProfitRatio: 16}
+		rng := rand.New(rand.NewSource(seed + 1))
+		in, err := workload.RandomTreeInstance(cfg, rng)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", recorderNoopScenario, err)
+		}
+		items, err := engine.BuildTreeItems(in, engine.IdealDecomp)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", recorderNoopScenario, err)
+		}
+		for _, p := range []int{1, parallel} {
+			noopNs, nilNs, err := timeRecorderOverhead(items, seed, p)
+			if err != nil {
+				return fmt.Errorf("bench %s p=%d: %w", recorderNoopScenario, p, err)
+			}
+			report.Results = append(report.Results, BenchResult{
+				Name:            recorderNoopScenario,
+				Items:           len(items),
+				Mode:            engine.Unit.String(),
+				Parallelism:     p,
+				Iters:           recorderOverheadIters,
+				NsPerOp:         noopNs,
+				SolvesPerSec:    1e9 / float64(noopNs),
+				ItemsPerSec:     float64(len(items)) * 1e9 / float64(noopNs),
+				SerialNsPerOp:   nilNs,
+				SpeedupVsSerial: float64(nilNs) / float64(noopNs),
 			})
 		}
 	}
@@ -198,14 +247,15 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 		components := len(engine.ConflictComponents(engine.BuildConflicts(items)))
 		var serialNs int64
 		for _, w := range []int{1, 2, 4, 8} {
-			ns, err := timeSolve(items, seed, w, iters)
+			rec := benchRecorder(trace)
+			ns, err := timeSolve(items, seed, w, iters, engineRecorder(rec))
 			if err != nil {
 				return fmt.Errorf("bench parallel-sweep w=%d: %w", w, err)
 			}
 			if w == 1 {
 				serialNs = ns
 			}
-			report.Results = append(report.Results, BenchResult{
+			res := BenchResult{
 				Name:            "parallel-sweep/m=768",
 				Items:           len(items),
 				Components:      components,
@@ -217,7 +267,11 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				ItemsPerSec:     float64(len(items)) * 1e9 / float64(ns),
 				SerialNsPerOp:   serialNs,
 				SpeedupVsSerial: float64(serialNs) / float64(ns),
-			})
+			}
+			if rec != nil {
+				res.Phases = phasesFrom(rec)
+			}
+			report.Results = append(report.Results, res)
 		}
 	}
 
@@ -258,14 +312,15 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 	} {
 		var serialNs int64
 		for _, p := range []int{1, parallel} {
-			ns, nItems, err := timeChurn(sc.cfg, seed, p, sc.local, sc.churnN, sc.cold)
+			rec := benchRecorder(trace)
+			ns, nItems, err := timeChurn(sc.cfg, seed, p, sc.local, sc.churnN, sc.cold, rec)
 			if err != nil {
 				return fmt.Errorf("bench %s p=%d: %w", sc.name, p, err)
 			}
 			if p == 1 {
 				serialNs = ns
 			}
-			report.Results = append(report.Results, BenchResult{
+			res := BenchResult{
 				Name:            sc.name,
 				Items:           nItems,
 				Mode:            engine.Unit.String(),
@@ -276,7 +331,11 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				ItemsPerSec:     float64(nItems) * 1e9 / float64(ns),
 				SerialNsPerOp:   serialNs,
 				SpeedupVsSerial: float64(serialNs) / float64(ns),
-			})
+			}
+			if rec != nil {
+				res.Phases = phasesFrom(rec)
+			}
+			report.Results = append(report.Results, res)
 		}
 	}
 	// The serve scenarios: the online service shape — an in-process session
@@ -361,14 +420,15 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 		}
 		var serialNs int64
 		for _, p := range []int{1, parallel} {
-			ns, res, err := timeDist(items, seed, p, iters)
+			rec := benchRecorder(trace)
+			ns, res, err := timeDist(items, seed, p, iters, engineRecorder(rec))
 			if err != nil {
 				return fmt.Errorf("bench %s p=%d: %w", sz.name, p, err)
 			}
 			if p == 1 {
 				serialNs = ns
 			}
-			report.Results = append(report.Results, BenchResult{
+			row := BenchResult{
 				Name:            sz.name,
 				Items:           len(items),
 				Mode:            engine.Unit.String(),
@@ -381,7 +441,11 @@ func runBenchJSON(path string, seed int64, quick bool) error {
 				SpeedupVsSerial: float64(serialNs) / float64(ns),
 				Messages:        int64(res.Stats.Messages),
 				BytesPerDemand:  res.NodeStateBytes / int64(res.Processors),
-			})
+			}
+			if rec != nil {
+				row.Phases = phasesFrom(rec)
+			}
+			report.Results = append(report.Results, row)
 		}
 	}
 
@@ -416,7 +480,7 @@ const (
 // all demands churn uniformly. cold disables the warm-start dual cache.
 // Returns the average ns per (Update + Solve) round and the initial item
 // count.
-func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bool, churnN int, cold bool) (int64, int, error) {
+func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bool, churnN int, cold bool, rec *obs.Recorder) (int64, int, error) {
 	rng := rand.New(rand.NewSource(seed + 1))
 	in, err := workload.RandomTreeInstance(cfg, rng)
 	if err != nil {
@@ -435,9 +499,7 @@ func timeChurn(cfg workload.TreeConfig, seed int64, parallelism int, localNet bo
 	for _, d := range in.Demands {
 		inst.AddDemand(d.U, d.V, d.Profit, treesched.Access(d.Access...))
 	}
-	s := treesched.NewSolver(treesched.Options{
-		Epsilon: 0.1, Seed: seed, Parallelism: parallelism, DisableWarmStart: cold,
-	})
+	s := treesched.NewSolver(solverOptions(seed, parallelism, cold, rec))
 	sess, err := s.Session(inst)
 	if err != nil {
 		return 0, 0, err
@@ -646,13 +708,13 @@ func timeServe(cfg workload.TreeConfig, seed int64, parallelism int, pinned bool
 // solve on the batched driver with a stepping pool of `parallelism`
 // workers, returning the last run's Result for the message/state columns
 // (identical across iterations at a fixed seed).
-func timeDist(items []engine.Item, seed int64, parallelism, iters int) (int64, *dist.Result, error) {
+func timeDist(items []engine.Item, seed int64, parallelism, iters int, rec engine.Recorder) (int64, *dist.Result, error) {
 	best := int64(0)
 	var last *dist.Result
 	for i := 0; i < iters; i++ {
 		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.3, Seed: seed}
 		start := time.Now()
-		res, err := dist.RunOpts(items, cfg, dist.Options{Workers: parallelism})
+		res, err := dist.RunOpts(items, cfg, dist.Options{Workers: parallelism, Recorder: rec})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -705,8 +767,15 @@ func runDistSmoke(demands int, seed int64) error {
 	return nil
 }
 
-// timeSolve measures the best-of-iters wall time of one engine solve.
-func timeSolve(items []engine.Item, seed int64, parallelism, iters int) (int64, error) {
+// timeSolve measures the best-of-iters wall time of one engine solve. With
+// a non-nil rec the same prepare+run pipeline runs through the explicit
+// recorder seam (engine.RunParallel is exactly PrepareWorkers + prepared
+// RunParallel), so traced rows time the same quantity plus the recorder's
+// gated overhead.
+func timeSolve(items []engine.Item, seed int64, parallelism, iters int, rec engine.Recorder) (int64, error) {
+	if rec != nil {
+		return timeSolvePrepared(items, seed, parallelism, iters, rec)
+	}
 	best := int64(0)
 	for i := 0; i < iters; i++ {
 		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed + int64(i)}

@@ -9,9 +9,16 @@
 // Usage:
 //
 //	schedbench [-experiment all|E1|...|A3] [-seed N] [-quick]
-//	schedbench -bench-json FILE [-seed N] [-quick]
+//	schedbench -bench-json FILE [-seed N] [-quick] [-trace-json]
 //	schedbench -compare [-max-regression F] [-at SUBSTR] OLD.json NEW.json
+//	schedbench -recorder-gate FILE [-max-overhead F]
 //	schedbench -dist-smoke N [-seed S]
+//
+// -trace-json attaches an obs.Recorder to the engine, churn and dist
+// scenarios of a -bench-json run and embeds each row's per-phase wall-time
+// breakdown (additive "phases" field); -recorder-gate reads a report back
+// and fails if its recorder-noop rows show the instrumentation seam costing
+// more than -max-overhead over the nil-recorder baseline.
 package main
 
 import (
@@ -33,8 +40,18 @@ func main() {
 		maxRegr   = flag.Float64("max-regression", 0, "with -compare: exit nonzero if a gated scenario's ns/op grew by more than this fraction (0 = report only)")
 		at        = flag.String("at", "", "with -compare -max-regression: gate only scenarios whose name contains this substring")
 		distSmoke = flag.Int("dist-smoke", 0, "run one end-to-end distributed solve of this many demands (fleet workload, batched driver) and print the headline numbers")
+		traceJSON = flag.Bool("trace-json", false, "with -bench-json: attach a phase recorder and embed per-phase breakdowns in each row")
+		recGate   = flag.String("recorder-gate", "", "check a -bench-json report's recorder-noop rows against -max-overhead and exit")
+		maxOver   = flag.Float64("max-overhead", 0.02, "with -recorder-gate: maximum tolerated no-op recorder overhead fraction")
 	)
 	flag.Parse()
+	if *recGate != "" {
+		if err := runRecorderGate(*recGate, *maxOver); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *distSmoke > 0 {
 		if err := runDistSmoke(*distSmoke, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "schedbench:", err)
@@ -54,7 +71,7 @@ func main() {
 		return
 	}
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed, *quick); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed, *quick, *traceJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "schedbench:", err)
 			os.Exit(1)
 		}

@@ -76,7 +76,7 @@ func TestCompareReports(t *testing.T) {
 
 func TestBenchJSONReport(t *testing.T) {
 	path := t.TempDir() + "/bench.json"
-	if err := runBenchJSON(path, 1, true); err != nil {
+	if err := runBenchJSON(path, 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -93,12 +93,84 @@ func TestBenchJSONReport(t *testing.T) {
 	if len(report.Results) == 0 {
 		t.Fatal("no results in report")
 	}
+	sawNoop := false
 	for _, r := range report.Results {
 		if r.NsPerOp <= 0 || r.SolvesPerSec <= 0 || r.ItemsPerSec <= 0 {
 			t.Errorf("%s p=%d: non-positive timing fields: %+v", r.Name, r.Parallelism, r)
 		}
+		if r.Name == recorderNoopScenario {
+			// Its "serial" column is the nil-recorder baseline, not a
+			// parallelism-1 run, so the invariant below does not apply.
+			sawNoop = true
+			if r.SerialNsPerOp <= 0 {
+				t.Errorf("%s p=%d: no nil-recorder baseline: %+v", r.Name, r.Parallelism, r)
+			}
+			continue
+		}
 		if r.Parallelism == 1 && r.SpeedupVsSerial != 1 {
 			t.Errorf("%s: serial row speedup = %v, want 1", r.Name, r.SpeedupVsSerial)
 		}
+		if len(r.Phases) != 0 {
+			t.Errorf("%s p=%d: phases present in an untraced run", r.Name, r.Parallelism)
+		}
+	}
+	if !sawNoop {
+		t.Fatalf("report lacks the %s scenario", recorderNoopScenario)
+	}
+
+	// The gate reads the same report: generous bound passes, impossible
+	// bound fails (the attached arm can never beat nil by >50%).
+	if err := runRecorderGate(path, 10); err != nil {
+		t.Fatalf("recorder gate at 1000%%: %v", err)
+	}
+	if err := runRecorderGate(path, -0.5); err == nil {
+		t.Fatal("recorder gate at -50% passed")
+	}
+	if err := runRecorderGate(t.TempDir()+"/missing.json", 0.02); err == nil {
+		t.Fatal("recorder gate accepted a missing report")
+	}
+}
+
+// TestBenchJSONTraced checks -trace-json: traced engine/churn/dist rows
+// carry phase breakdowns whose spans are positive and whose solve phase is
+// present.
+func TestBenchJSONTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced bench run in -short mode")
+	}
+	path := t.TempDir() + "/bench-traced.json"
+	if err := runBenchJSON(path, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	traced := 0
+	for _, r := range report.Results {
+		if len(r.Phases) == 0 {
+			continue
+		}
+		traced++
+		bySuffix := map[string]bool{}
+		for _, ph := range r.Phases {
+			if ph.Spans <= 0 {
+				t.Errorf("%s p=%d: phase %s with %d spans", r.Name, r.Parallelism, ph.Phase, ph.Spans)
+			}
+			if ph.TotalNs < 0 {
+				t.Errorf("%s p=%d: phase %s negative total", r.Name, r.Parallelism, ph.Phase)
+			}
+			bySuffix[ph.Phase] = true
+		}
+		if !bySuffix["solve"] && !bySuffix["dist_sim"] {
+			t.Errorf("%s p=%d: traced row lacks a solve/dist_sim phase: %+v", r.Name, r.Parallelism, r.Phases)
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no traced rows in a -trace-json report")
 	}
 }

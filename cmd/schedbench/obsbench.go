@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	treesched "treesched"
+	"treesched/internal/engine"
+	"treesched/internal/obs"
+)
+
+// This file is the bench side of the observability layer: -trace-json
+// attaches an obs.Recorder to the measured runs and embeds the per-phase
+// wall-time breakdown in each report row, and -recorder-gate enforces the
+// seam's overhead budget — the no-op-recorder path must stay within
+// -max-overhead of the nil-recorder path on the headline scenario.
+
+// BenchPhase is one phase row of a traced scenario: how many spans the
+// phase completed across the scenario's iterations and their summed wall
+// time.
+type BenchPhase struct {
+	Phase   string `json:"phase"`
+	Spans   int64  `json:"spans"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// phasesFrom converts a recorder's report into the BenchResult embedding.
+func phasesFrom(rec *obs.Recorder) []BenchPhase {
+	rep := rec.Report()
+	out := make([]BenchPhase, 0, len(rep.Phases))
+	for _, p := range rep.Phases {
+		out = append(out, BenchPhase{Phase: p.Phase, Spans: p.Spans, TotalNs: p.Total.Nanoseconds()})
+	}
+	return out
+}
+
+// benchRecorder returns the recorder to thread through a scenario: a live
+// obs.Recorder when tracing, nil (the production default) otherwise.
+func benchRecorder(trace bool) *obs.Recorder {
+	if trace {
+		return obs.NewRecorder()
+	}
+	return nil
+}
+
+// engineRecorder converts the possibly-nil *obs.Recorder into the engine's
+// interface without smuggling a typed-nil interface value into the nil
+// checks the hot paths rely on.
+func engineRecorder(rec *obs.Recorder) engine.Recorder {
+	if rec == nil {
+		return nil
+	}
+	return rec
+}
+
+// solverOptions is the bench solver configuration with the recorder
+// attached when tracing.
+func solverOptions(seed int64, parallelism int, cold bool, rec *obs.Recorder) treesched.Options {
+	return treesched.Options{
+		Epsilon: 0.1, Seed: seed, Parallelism: parallelism,
+		DisableWarmStart: cold, Recorder: engineRecorder(rec),
+	}
+}
+
+// timeSolvePrepared measures the best-of-iters prepared solve with rec
+// attached (rec may be nil). Unlike timeSolve it prepares once per
+// iteration through the explicit seam — the path a traced run reports
+// PhasePrepare for — so the timed quantity matches timeSolve's
+// (engine.RunParallel is exactly prepare + run).
+func timeSolvePrepared(items []engine.Item, seed int64, parallelism, iters int, rec engine.Recorder) (int64, error) {
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed + int64(i)}
+		start := time.Now()
+		var tok int64
+		if rec != nil {
+			tok = rec.StartSpan(engine.PhasePrepare)
+		}
+		prep := engine.PrepareWorkers(items, parallelism)
+		if rec != nil {
+			rec.EndSpan(engine.PhasePrepare, tok)
+			prep.SetRecorder(rec)
+		}
+		if _, err := prep.RunParallel(cfg, parallelism); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// recorderOverheadIters is the pair count of the recorder-noop scenario.
+// Far larger than the standard bench iters because the gate asserts a 2%
+// bound, not a 15% one (~30 pairs × two arms × ~1.3ms ≈ 80ms, still
+// cheap).
+const recorderOverheadIters = 30
+
+// timeRecorderOverhead measures the cost of the recorder seam itself: the
+// identical prepared solve with a no-op recorder attached (every nil check
+// taken, every span call made) versus with none (every nil check skipped),
+// run as back-to-back pairs so each pair shares its moment's host
+// interference; each arm keeps its own Prepared so warm-start state stays
+// symmetric. The overhead estimate is the MEDIAN of the per-pair
+// attached/bare ratios: per-arm minima or means swing ±5% on a small host
+// when one arm's samples catch an interference spike the other's dodge,
+// while the paired-ratio median is stable within ±1% — tight enough to
+// gate at 2%. Returned as (noopNs, nilNs) where nilNs is the median bare
+// solve and noopNs is nilNs scaled by the median ratio, so downstream
+// ratio consumers (the report row, runRecorderGate) recover exactly the
+// robust statistic.
+func timeRecorderOverhead(items []engine.Item, seed int64, parallelism int) (noopNs, nilNs int64, err error) {
+	run := func(rec engine.Recorder, i int) (int64, error) {
+		cfg := engine.Config{Mode: engine.Unit, Epsilon: 0.1, Seed: seed + int64(i)}
+		prep := engine.PrepareWorkers(items, parallelism)
+		prep.SetRecorder(rec)
+		start := time.Now()
+		if _, err := prep.RunParallel(cfg, parallelism); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Nanoseconds(), nil
+	}
+	nilSamples := make([]int64, 0, recorderOverheadIters)
+	ratios := make([]float64, 0, recorderOverheadIters)
+	for i := 0; i < recorderOverheadIters; i++ {
+		bare, err := run(nil, i)
+		if err != nil {
+			return 0, 0, err
+		}
+		attached, err := run(obs.Nop{}, i)
+		if err != nil {
+			return 0, 0, err
+		}
+		nilSamples = append(nilSamples, bare)
+		ratios = append(ratios, float64(attached)/float64(bare))
+	}
+	slices.Sort(nilSamples)
+	slices.Sort(ratios)
+	nilNs = nilSamples[len(nilSamples)/2]
+	noopNs = int64(float64(nilNs)*ratios[len(ratios)/2] + 0.5)
+	return noopNs, nilNs, nil
+}
+
+// recorderNoopScenario is the report row name of the overhead measurement:
+// NsPerOp is the no-op-recorder-attached solve, SerialNsPerOp the
+// nil-recorder baseline of the same interleaved run, so SpeedupVsSerial is
+// baseline/attached — 1.0 means the seam is free, and the CI gate requires
+// it above 1/(1+maxOverhead).
+const recorderNoopScenario = "recorder-noop/m=768"
+
+// runRecorderGate is -recorder-gate: load a -bench-json report and fail if
+// its recorder-noop rows show the attached path more than maxOverhead
+// slower than the nil path.
+func runRecorderGate(reportPath string, maxOverhead float64) error {
+	r, err := loadReport(reportPath)
+	if err != nil {
+		return err
+	}
+	found := 0
+	for _, res := range r.Results {
+		if res.Name != recorderNoopScenario {
+			continue
+		}
+		found++
+		overhead := float64(res.NsPerOp)/float64(res.SerialNsPerOp) - 1
+		fmt.Printf("%-24s p=%-3d nil %d ns/op, noop-attached %d ns/op (overhead %+.2f%%)\n",
+			res.Name, res.Parallelism, res.SerialNsPerOp, res.NsPerOp, 100*overhead)
+		if overhead > maxOverhead {
+			return fmt.Errorf("recorder no-op overhead %.2f%% exceeds %.2f%% at p=%d",
+				100*overhead, 100*maxOverhead, res.Parallelism)
+		}
+	}
+	if found == 0 {
+		return fmt.Errorf("%s: no %s rows to gate", reportPath, recorderNoopScenario)
+	}
+	fmt.Printf("recorder gate passed: %d row(s) within %.0f%%\n", found, 100*maxOverhead)
+	return nil
+}

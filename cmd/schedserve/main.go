@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	schedserve [-addr HOST:PORT] [-workers N]
+//	schedserve [-addr HOST:PORT] [-workers N] [-pprof]
+//	schedserve -validate-metrics URL
 //
 // API (see cmd/schedserve/README.md for request/response shapes and curl
 // examples):
@@ -17,6 +18,16 @@
 //	GET    /v1/instances/{id}/stats    actor round accounting + session incremental-state counters
 //	GET    /metrics                    fleet metrics, Prometheus text format
 //	GET    /healthz                    liveness
+//
+// With -pprof the standard live-profiling surface is mounted as well:
+//
+//	GET    /debug/pprof/               net/http/pprof index (profile, heap, trace, ...)
+//	GET    /debug/vars                 fleet stats + histogram snapshots, JSON
+//
+// -validate-metrics URL runs as a scrape client instead of a server: it
+// fetches URL and checks the response against the Prometheus text
+// exposition rules (serve.ValidateExposition), exiting non-zero on the
+// first violation. CI smoke tests use it to keep WriteMetrics honest.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -36,22 +48,46 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "shared solve worker pool size (rounds in flight across all instances)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", runtime.NumCPU(), "shared solve worker pool size (rounds in flight across all instances)")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof (live profiling) and /debug/vars (JSON stats)")
+		validate = flag.String("validate-metrics", "", "fetch URL, validate it as Prometheus text exposition, and exit")
 	)
 	flag.Parse()
+	if *validate != "" {
+		if err := validateMetricsURL(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "schedserve: validate-metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedserve: %s: exposition OK\n", *validate)
+		return
+	}
 	reg := serve.NewRegistry(*workers)
 	defer reg.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(reg),
+		Handler:           newMux(reg, *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("schedserve listening on %s (pool=%d)", *addr, *workers)
+	log.Printf("schedserve listening on %s (pool=%d pprof=%v)", *addr, *workers, *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "schedserve:", err)
 		os.Exit(1)
 	}
+}
+
+// validateMetricsURL scrapes url once and validates the body.
+func validateMetricsURL(url string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return serve.ValidateExposition(resp.Body)
 }
 
 // server binds the HTTP surface to one registry.
@@ -60,8 +96,10 @@ type server struct {
 }
 
 // newMux builds the route table; factored out so tests serve it through
-// httptest.
-func newMux(reg *serve.Registry) *http.ServeMux {
+// httptest. The debug surface (net/http/pprof + /debug/vars) is opt-in —
+// profiling endpoints can stall the world and the vars dump takes every
+// actor's stats lock, so they stay off unless -pprof asked for them.
+func newMux(reg *serve.Registry, debug bool) *http.ServeMux {
 	s := &server{reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -71,6 +109,19 @@ func newMux(reg *serve.Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		reg.WriteMetrics(w)
 	})
+	if debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteVars(w); err != nil {
+				log.Printf("schedserve: write vars: %v", err)
+			}
+		})
+	}
 	mux.HandleFunc("POST /v1/instances", s.createInstance)
 	mux.HandleFunc("GET /v1/instances", s.listInstances)
 	mux.HandleFunc("DELETE /v1/instances/{id}", s.deleteInstance)

@@ -15,9 +15,13 @@ import (
 
 // startTestServer serves the real mux over httptest.
 func startTestServer(t *testing.T) (*httptest.Server, *serve.Registry) {
+	return startTestServerDebug(t, false)
+}
+
+func startTestServerDebug(t *testing.T, debug bool) (*httptest.Server, *serve.Registry) {
 	t.Helper()
 	reg := serve.NewRegistry(2)
-	srv := httptest.NewServer(newMux(reg))
+	srv := httptest.NewServer(newMux(reg, debug))
 	t.Cleanup(func() {
 		srv.Close()
 		reg.Close()
@@ -198,5 +202,98 @@ func TestHTTPErrors(t *testing.T) {
 		"add": []map[string]any{{"u": 1, "v": 3, "profit": 2}},
 	}); status != http.StatusOK {
 		t.Fatalf("churn after failed churn: %d", status)
+	}
+}
+
+// TestMetricsExposition scrapes /metrics exactly the way the CI smoke step
+// does — through validateMetricsURL — and then pins the histogram series a
+// single churn round must produce.
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := startTestServer(t)
+	if status, _ := do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name": "smoke", "vertices": 6, "trees": [][][2]int{{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+		"demands": []map[string]any{{"u": 0, "v": 2, "profit": 5}},
+		"options": map[string]any{"epsilon": 0.1, "seed": 7},
+	}); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	if status, _ := do(t, "POST", srv.URL+"/v1/instances/smoke/churn", map[string]any{
+		"add": []map[string]any{{"u": 1, "v": 4, "profit": 9}},
+	}); status != http.StatusOK {
+		t.Fatalf("churn: status %d", status)
+	}
+
+	if err := validateMetricsURL(srv.URL + "/metrics"); err != nil {
+		t.Fatalf("validate-metrics: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`schedserve_round_latency_seconds_bucket{instance="smoke",le="+Inf"} 1`,
+		`schedserve_round_latency_seconds_count{instance="smoke"} 1`,
+		`schedserve_batch_size_count{instance="smoke"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if err := validateMetricsURL(srv.URL + "/healthz"); err == nil {
+		t.Fatal("validate-metrics accepted a JSON body")
+	}
+}
+
+// TestDebugSurface checks that -pprof mounts /debug/vars and the pprof
+// index — and that without it both stay 404.
+func TestDebugSurface(t *testing.T) {
+	srv, _ := startTestServerDebug(t, true)
+	if status, _ := do(t, "POST", srv.URL+"/v1/instances", map[string]any{
+		"name": "dbg", "vertices": 4, "trees": [][][2]int{{{0, 1}, {1, 2}, {2, 3}}},
+		"demands": []map[string]any{{"u": 0, "v": 2, "profit": 1}},
+	}); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+
+	status, vars := do(t, "GET", srv.URL+"/debug/vars", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", status)
+	}
+	insts, ok := vars["instances"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars shape: %v", vars)
+	}
+	dbg, ok := insts["dbg"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing instance dbg: %v", insts)
+	}
+	if dbg["live"].(float64) != 1 {
+		t.Fatalf("vars live %v, want 1", dbg["live"])
+	}
+	if _, ok := dbg["hists"].(map[string]any)["round_latency_seconds"]; !ok {
+		t.Fatalf("vars missing histogram snapshots: %v", dbg["hists"])
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+
+	plain, _ := startTestServer(t)
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(plain.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without -pprof: status %d, want 404", path, resp.StatusCode)
+		}
 	}
 }

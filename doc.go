@@ -231,6 +231,50 @@
 // and hot instances cannot starve the rest. See cmd/schedserve/README.md
 // for the HTTP API and curl walkthrough.
 //
+// # Observability: recorders, phase spans, and histograms
+//
+// The solve path is instrumented through one nil-safe seam,
+// engine.Recorder (attach via Options.Recorder, engine SetRecorder, or
+// dist.Options.Recorder): StartSpan/EndSpan pairs bracket the pipeline's
+// phases — prepare, update, apply, component decomposition, per-shard and
+// serial first-phase schedules, merge, greedy, and the dist runtime's
+// setup/sim/assemble — and Count accumulates solve-path counters (items,
+// components, warm replays vs re-solves, granted shard workers and intra
+// lanes). Two rules keep the seam compatible with the determinism
+// contract:
+//
+//   - Recorders observe, never steer. No engine branch reads recorder
+//     state; every emission site is a plain nil check. Results are bitwise
+//     identical with or without a recorder attached (pinned by the engine,
+//     root, and dist equivalence suites), and the nil path costs one
+//     pointer test per site — a CI gate holds the no-op-recorder overhead
+//     on a full solve under 2%.
+//   - The engine side is clock-free. A StartSpan token is opaque to the
+//     engine and flows back to EndSpan unchanged, so reading a clock
+//     happens only inside the recorder implementation — internal/obs —
+//     which lives outside the deterministic package set; schedvet's
+//     detsource time.Now ban over lint.DetPackages stays airtight. An
+//     abandoned span (error return between Start and End) is simply never
+//     accumulated: only EndSpan writes.
+//
+// Within one solve the non-solve phases nest disjointly under PhaseSolve
+// (PhaseMerge is emitted as two segments around PhaseGreedy to preserve
+// this), so per-phase totals sum to at most the solve wall; the gap is
+// uninstrumented work. obs.Recorder turns the stream into a SolveReport
+// (per-phase durations/span counts, counters, WarmHitRatio) with
+// Report/Take/Reset windowing; obs also supplies the fixed-bucket log₂
+// histograms (doubling bounds, overflow bucket, atomic counts) behind the
+// serving layer's latency/solve/queue-wait/batch-size families. The
+// simulator keeps its own per-run histograms in simnet.Stats
+// (BusyNodeHist, MsgSizeHist — plain arrays, identical across both
+// drivers). Egress: cmd/schedserve exports Prometheus text exposition on
+// /metrics (validated end-to-end by serve.ValidateExposition, also
+// runnable as `schedserve -validate-metrics URL`), JSON on /debug/vars and
+// net/http/pprof under -pprof; `schedbench -trace-json` attaches recorders
+// to benchmark runs and embeds per-phase breakdowns in the report (for
+// diagnosis, not gating — traced rows carry the recorder's small
+// overhead).
+//
 // # Benchmark telemetry: the treesched/bench/v1 schema
 //
 // `schedbench -bench-json FILE` runs the solve performance suite and
@@ -265,7 +309,12 @@
 // tracks the row-partitioned kernels; read its speedups against the
 // recorded gomaxprocs — on the 1-CPU CI host the lane clamp keeps every
 // worker count on the serial path, so the snapshot gates overhead, not
-// scaling.
+// scaling. The recorder-noop/m=768 scenario measures the observability
+// seam itself: it interleaves no-op-recorder-attached and bare solves in
+// one process, reporting the attached cost as ns_per_op against the bare
+// cost in serial_ns_per_op (so its speedup column is the overhead ratio,
+// not a parallel speedup); `schedbench -recorder-gate REPORT
+// -max-overhead 0.02` turns that row into the in-run CI overhead gate.
 //
 // `schedbench -compare OLD.json NEW.json` diffs two reports by
 // (scenario, parallelism) and prints per-size speedups;

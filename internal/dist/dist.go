@@ -80,6 +80,14 @@ type Options struct {
 	// step's conflict-build pool; ≤0 means GOMAXPROCS. Cannot affect
 	// results, only wall-clock.
 	Workers int
+	// Recorder observes the run's phases — PhaseDistSetup (context build +
+	// node construction), PhaseDistSim (the simnet round loop),
+	// PhaseDistAssemble (raise-log assembly, selection, dual replay) — and
+	// nothing else; like every recorder attachment it cannot affect
+	// results. dist itself never reads a clock (it is in the deterministic
+	// package set); timing lives in the recorder implementation
+	// (internal/obs).
+	Recorder engine.Recorder
 }
 
 // Result reports a distributed run.
@@ -129,6 +137,11 @@ func RunOpts(items []engine.Item, cfg engine.Config, opts Options) (*Result, err
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhaseDistSetup)
+	}
 	prep := engine.PrepareWorkers(items, workers)
 	ctx, err := buildContext(prep, cfg, plan, budget)
 	if err != nil {
@@ -145,6 +158,10 @@ func RunOpts(items []engine.Item, cfg engine.Config, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	if rec != nil {
+		rec.EndSpan(engine.PhaseDistSetup, tok)
+		tok = rec.StartSpan(engine.PhaseDistSim)
+	}
 	var stats simnet.Stats
 	if opts.Driver == DriverGoroutine {
 		stats, err = nw.Run(res.ScheduleRounds + 2)
@@ -155,6 +172,10 @@ func RunOpts(items []engine.Item, cfg engine.Config, opts Options) (*Result, err
 		return nil, err
 	}
 	res.Stats = stats
+	if rec != nil {
+		rec.EndSpan(engine.PhaseDistSim, tok)
+		tok = rec.StartSpan(engine.PhaseDistAssemble)
+	}
 
 	steps, trace := assembleSteps(ctx, nodes, cfg.RecordTrace)
 	res.Selected, res.Profit = prep.SelectGreedy(cfg.Mode, steps)
@@ -164,6 +185,9 @@ func RunOpts(items []engine.Item, cfg engine.Config, opts Options) (*Result, err
 		res.NodeStateBytes += n.stateBytes()
 	}
 	res.SharedStateBytes = ctx.sharedBytes
+	if rec != nil {
+		rec.EndSpan(engine.PhaseDistAssemble, tok)
+	}
 	return res, nil
 }
 

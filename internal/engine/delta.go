@@ -145,6 +145,11 @@ func (p *Prepared) Apply(d Delta) error {
 	if err := checkDelta(d, n, removed); err != nil {
 		return err
 	}
+	rec := p.rec
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(PhaseApply)
+	}
 	newN := n - len(d.Remove) + len(d.Add)
 	lay := p.lay
 
@@ -453,6 +458,9 @@ func (p *Prepared) Apply(d Delta) error {
 		p.touched = nt
 	}
 	p.shardMu.Unlock()
+	if rec != nil {
+		rec.EndSpan(PhaseApply, tok)
+	}
 	return nil
 }
 

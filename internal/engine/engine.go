@@ -293,15 +293,29 @@ func newState(items []Item, lay *layout, cfg Config, plan *Plan, adj [][]int, sc
 func (p *Prepared) runSerial(cfg Config, plan *Plan, intra int) (*Result, error) {
 	scr := scratchPool.Get().(*solveScratch)
 	defer scratchPool.Put(scr)
-	pool := newIntraPool(intraLanes(intra, len(p.items)))
+	lanes := intraLanes(intra, len(p.items))
+	pool := newIntraPool(lanes)
 	defer pool.close()
+	rec := p.rec
+	var tok int64
+	if rec != nil {
+		rec.Count(CounterIntraLanes, int64(lanes))
+		tok = rec.StartSpan(PhaseSerialSolve)
+	}
 	st := newState(p.items, p.lay, cfg, plan, p.adj, scr, pool)
 	res := &Result{Dual: st.core.Dual, Trace: st.trace}
 	res.Delta = MaxCritical(p.items)
 	if err := st.firstPhase(res); err != nil {
 		return nil, err
 	}
+	if rec != nil {
+		rec.EndSpan(PhaseSerialSolve, tok)
+		tok = rec.StartSpan(PhaseGreedy)
+	}
 	st.secondPhase(res)
+	if rec != nil {
+		rec.EndSpan(PhaseGreedy, tok)
+	}
 
 	if len(p.items) > 0 {
 		res.Lambda, res.Bound = st.core.lambdaBound(p.lay.views, pool)

@@ -59,12 +59,12 @@ func TestIntraLanes(t *testing.T) {
 	for _, tc := range []struct {
 		budget, rows, want int
 	}{
-		{1, 1000, 1},  // no budget, no pool
-		{8, 1000, 4},  // clamped to the lane cap
-		{3, 1000, 3},  // budget under the cap passes through
-		{4, 15, 1},    // under 2×grain rows run inline
-		{4, 16, 4},    // exactly 2×grain is enough to partition
-		{0, 1000, 0},  // non-positive budgets are the caller's bug, stay ≤ 1
+		{1, 1000, 1}, // no budget, no pool
+		{8, 1000, 4}, // clamped to the lane cap
+		{3, 1000, 3}, // budget under the cap passes through
+		{4, 15, 1},   // under 2×grain rows run inline
+		{4, 16, 4},   // exactly 2×grain is enough to partition
+		{0, 1000, 0}, // non-positive budgets are the caller's bug, stay ≤ 1
 	} {
 		got := intraLanes(tc.budget, tc.rows)
 		if got != tc.want {

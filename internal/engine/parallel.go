@@ -113,6 +113,20 @@ func RunParallel(items []Item, cfg Config, workers int) (*Result, error) {
 // per-component outcomes), except on instances known to be one single
 // component, where sharding can never pay for itself.
 func (p *Prepared) RunParallel(cfg Config, workers int) (*Result, error) {
+	rec := p.rec
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(PhaseSolve)
+		rec.Count(CounterItems, int64(len(p.items)))
+	}
+	res, err := p.runParallel(cfg, workers)
+	if rec != nil && err == nil {
+		rec.EndSpan(PhaseSolve, tok)
+	}
+	return res, err
+}
+
+func (p *Prepared) runParallel(cfg Config, workers int) (*Result, error) {
 	plan, err := PlanFor(p.items, &cfg) // resolves ξ and defaults globally
 	if err != nil {
 		return nil, err
@@ -209,6 +223,12 @@ func (p *Prepared) runShards(cfg Config, plan *Plan, workers int, warm bool) ([]
 		}
 		todo = append(todo, s)
 	}
+	rec := p.rec
+	if rec != nil {
+		rec.Count(CounterComponents, int64(len(p.shards)))
+		rec.Count(CounterComponentsReplayed, int64(len(p.shards)-len(todo)))
+		rec.Count(CounterComponentsResolved, int64(len(todo)))
+	}
 
 	if len(todo) > 0 {
 		errs := make([]error, len(todo))
@@ -223,11 +243,22 @@ func (p *Prepared) runShards(cfg Config, plan *Plan, workers int, warm bool) ([]
 		if workers > compWorkers {
 			intra = workers / compWorkers
 		}
+		if rec != nil {
+			rec.Count(CounterShardWorkers, int64(compWorkers))
+			rec.Count(CounterIntraLanes, int64(intraLanes(intra, len(p.items))))
+		}
 		if compWorkers <= 1 {
 			scr := scratchPool.Get().(*solveScratch)
 			pool := newIntraPool(intraLanes(intra, len(p.items)))
 			for i, s := range todo {
+				var stok int64
+				if rec != nil {
+					stok = rec.StartSpan(PhaseShardSolve)
+				}
 				outs[s], errs[i] = runShard(p.shards[s], cfg, plan, scr, p.lay, pool)
+				if rec != nil && errs[i] == nil {
+					rec.EndSpan(PhaseShardSolve, stok)
+				}
 			}
 			pool.close()
 			scratchPool.Put(scr)
@@ -243,7 +274,14 @@ func (p *Prepared) runShards(cfg Config, plan *Plan, workers int, warm bool) ([]
 					pool := newIntraPool(intraLanes(intra, len(p.items)))
 					defer pool.close()
 					for i := range work {
+						var stok int64
+						if rec != nil {
+							stok = rec.StartSpan(PhaseShardSolve)
+						}
 						outs[todo[i]], errs[i] = runShard(p.shards[todo[i]], cfg, plan, scr, p.lay, pool)
+						if rec != nil && errs[i] == nil {
+							rec.EndSpan(PhaseShardSolve, stok)
+						}
 					}
 				}()
 			}
@@ -297,6 +335,15 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Resul
 		Delta:  MaxCritical(p.items),
 		Epochs: plan.MaxGroup,
 		Stages: plan.Stages,
+	}
+
+	// PhaseMerge is emitted as two segments disjoint from PhaseGreedy —
+	// stamp sort + grouping before it, dual merge + λ fold after — so the
+	// per-phase durations of one solve never overlap.
+	rec := p.rec
+	var mtok int64
+	if rec != nil {
+		mtok = rec.StartSpan(PhaseMerge)
 	}
 
 	scr := mergePool.Get().(*mergeScratch)
@@ -370,8 +417,17 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Resul
 	res.CommRounds = 2*res.MISIters + 2*res.Steps
 
 	// Second phase over the merged stack, exactly as the serial run.
+	var gtok int64
+	if rec != nil {
+		rec.EndSpan(PhaseMerge, mtok)
+		gtok = rec.StartSpan(PhaseGreedy)
+	}
 	res.Selected, res.Profit = selectGreedyViews(p.lay.views, cfg.Mode, steps,
 		p.lay.ix.NumDemands(), p.lay.ix.NumEdges())
+	if rec != nil {
+		rec.EndSpan(PhaseGreedy, gtok)
+		mtok = rec.StartSpan(PhaseMerge)
+	}
 
 	// Merge the disjoint dual assignments into the global dense layout
 	// (components partition demands and edges, so every global slot is
@@ -402,6 +458,9 @@ func (p *Prepared) mergeShards(cfg Config, plan *Plan, outs []*shardOut) (*Resul
 
 	if cfg.RecordTrace {
 		res.Trace = mergeTraces(outs, perStep)
+	}
+	if rec != nil {
+		rec.EndSpan(PhaseMerge, mtok)
 	}
 	return res, nil
 }

@@ -98,6 +98,10 @@ type Prepared struct {
 	// applyScr is Apply's pooled bookkeeping (delta.go); lazily allocated on
 	// the first Apply and reused since Applies never overlap.
 	applyScr *applyScratch
+
+	// rec observes phase spans and counters (recorder.go); nil = no-op.
+	// Set before the Prepared is shared, read-only during runs.
+	rec Recorder
 }
 
 // preShard is one conflict component relabeled to dense shard-local ids.
@@ -144,7 +148,17 @@ func (p *Prepared) Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.runSerial(cfg, plan, 1)
+	rec := p.rec
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(PhaseSolve)
+		rec.Count(CounterItems, int64(len(p.items)))
+	}
+	res, err := p.runSerial(cfg, plan, 1)
+	if rec != nil && err == nil {
+		rec.EndSpan(PhaseSolve, tok)
+	}
+	return res, err
 }
 
 // ensureShards builds the component decomposition and per-shard relabelings,
@@ -158,6 +172,10 @@ func (p *Prepared) ensureShards() {
 	defer p.shardMu.Unlock()
 	if p.shardsBuilt && !p.shardsStale {
 		return
+	}
+	var tok int64
+	if p.rec != nil {
+		tok = p.rec.StartSpan(PhaseComponents)
 	}
 	var comps [][]int
 	if p.shardsStale && len(p.touched) == len(p.adj) {
@@ -181,6 +199,9 @@ func (p *Prepared) ensureShards() {
 	touched := p.touched
 	p.touched = nil
 	if len(comps) <= 1 {
+		if p.rec != nil {
+			p.rec.EndSpan(PhaseComponents, tok)
+		}
 		return
 	}
 	local := make([]int, len(p.items))
@@ -207,6 +228,9 @@ func (p *Prepared) ensureShards() {
 		}
 		sh.lay = buildLayout(sh.items)
 		p.shards[s] = sh
+	}
+	if p.rec != nil {
+		p.rec.EndSpan(PhaseComponents, tok)
 	}
 }
 

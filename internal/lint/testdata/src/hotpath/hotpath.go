@@ -160,3 +160,50 @@ func (intBody) Size() int { return 1 }
 func hotPayloadBoxed(to int, v intBody) message {
 	return message{to: to, body: payload(v)} // want `hotpath: hot function hotPayloadBoxed boxes .*intBody into`
 }
+
+// --- recorder emission shapes (the engine observability seam) -----------
+
+// recorder mirrors engine.Recorder: scalar-only methods, so emitting spans
+// and counters from a hot loop moves no values into interfaces.
+type recorder interface {
+	StartSpan(p uint8) int64
+	EndSpan(p uint8, tok int64)
+	Count(c uint8, n int64)
+}
+
+// hotRecorderSpans is the engine's emission idiom: every site guarded by a
+// plain nil check, tokens and counts staying scalar. Clean — the seam costs
+// a pointer test and an interface call, never an allocation.
+//
+//schedvet:hot
+func hotRecorderSpans(rec recorder, xs []float64) float64 {
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(1)
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if rec != nil {
+		rec.EndSpan(1, tok)
+		rec.Count(0, int64(len(xs)))
+	}
+	return s
+}
+
+// spanEvent is a per-emission record; observers that accept events through
+// an interface parameter box one per call.
+type spanEvent struct {
+	phase uint8
+	ns    int64
+}
+
+// hotEventBoxed hands a per-emission event struct to an any parameter —
+// flagged: this is exactly the shape the scalar-token Recorder interface
+// exists to avoid.
+//
+//schedvet:hot
+func hotEventBoxed(emit func(ev any), phase uint8, ns int64) {
+	emit(spanEvent{phase: phase, ns: ns}) // want `hotpath: hot function hotEventBoxed boxes .*spanEvent into interface parameter`
+}

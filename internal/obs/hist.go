@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket log₂-scale histogram: bucket i covers
+// observations v ≤ base·2^i, with one implicit overflow bucket above the
+// last bound. Observe is lock-free (atomic bucket increments and a CAS
+// loop on the float sum), so the serving layer can record from every actor
+// goroutine without contention, and the bucket count is fixed at
+// construction so exposition never allocates per observation.
+//
+// Log-scale doubling bounds are the whole scheme: latency and size
+// distributions are heavy-tailed, so constant-ratio buckets give uniform
+// relative error (±2×) from microseconds to tens of seconds with ~20
+// buckets — the same layout Prometheus clients conventionally use.
+type Histogram struct {
+	bounds []float64 // ascending inclusive upper bounds
+	counts []atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewLogHistogram returns a Histogram with `buckets` doubling bounds
+// starting at base: base, 2·base, 4·base, … plus the overflow bucket.
+func NewLogHistogram(base float64, buckets int) *Histogram {
+	if base <= 0 || buckets < 1 {
+		panic("obs: NewLogHistogram needs base > 0 and buckets >= 1")
+	}
+	h := &Histogram{
+		bounds: make([]float64, buckets),
+		counts: make([]atomic.Int64, buckets+1),
+	}
+	b := base
+	for i := range h.bounds {
+		h.bounds[i] = b
+		b *= 2
+	}
+	return h
+}
+
+// NewLatencyHistogram returns the standard duration layout: 10µs to ~21s
+// in 22 doubling buckets (observations in seconds).
+func NewLatencyHistogram() *Histogram { return NewLogHistogram(1e-5, 22) }
+
+// NewSizeHistogram returns the standard count/size layout: 1 to 2048 in 12
+// doubling buckets.
+func NewSizeHistogram() *Histogram { return NewLogHistogram(1, 12) }
+
+// Observe records one value. NaN observations are dropped; negative values
+// land in the first bucket.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, ready for
+// exposition. Counts are per-bucket (not cumulative); the last entry is
+// the overflow (+Inf) bucket, so len(Counts) == len(Bounds)+1 and Count is
+// always the exact sum of Counts — the writer derives cumulative series
+// from it, keeping _count consistent with the +Inf bucket even when a
+// snapshot races concurrent observations.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}

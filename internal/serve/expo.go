@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-exposition stream for the
+// structural invariants a scraper relies on, and that the hand-rolled
+// WriteMetrics is therefore obliged to uphold:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     lines that precede it, and # TYPE appears at most once per family;
+//   - a family's samples are contiguous — no family resumes after another
+//     family's samples have started;
+//   - metric names, label pairs and values parse (values as Go floats,
+//     including +Inf/NaN);
+//   - histogram families are well-formed per label set: le bounds strictly
+//     increase, cumulative bucket counts never decrease, the series ends
+//     at le="+Inf", and the +Inf bucket equals the _count sample, with
+//     _sum present.
+//
+// It is used by the format tests and by `schedserve -validate-metrics` in
+// CI smoke runs. The first violation is returned with its line number.
+func ValidateExposition(r io.Reader) error {
+	type hseries struct {
+		lastLe  float64
+		lastCum float64
+		started bool
+		haveInf bool
+		infCum  float64
+		count   float64
+		haveSum bool
+		haveCnt bool
+	}
+	type family struct {
+		typ     string
+		help    bool
+		samples int
+		hist    map[string]*hseries
+	}
+	fams := make(map[string]*family)
+	get := func(name string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{hist: make(map[string]*hseries)}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	current := "" // family of the most recent sample line
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s line", lineNo, name, fields[1])
+			}
+			f := get(name)
+			if fields[1] == "HELP" {
+				f.help = true
+				continue
+			}
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if f.samples > 0 {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			if len(fields) < 4 {
+				return fmt.Errorf("line %d: TYPE line for %s missing a type", lineNo, name)
+			}
+			f.typ = fields[3]
+			continue
+		}
+
+		name, labels, valStr, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, valStr, err)
+		}
+
+		famName, suffix := name, ""
+		if fams[famName] == nil || fams[famName].typ == "" {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, s)
+				if base != name && fams[base] != nil && fams[base].typ == "histogram" {
+					famName, suffix = base, s
+					break
+				}
+			}
+		}
+		f := fams[famName]
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s without a preceding TYPE", lineNo, name)
+		}
+		if !f.help {
+			return fmt.Errorf("line %d: sample %s without a preceding HELP", lineNo, name)
+		}
+		if current != famName && f.samples > 0 {
+			return fmt.Errorf("line %d: family %s resumes after other samples (families must be contiguous)", lineNo, famName)
+		}
+		current = famName
+		f.samples++
+
+		if f.typ != "histogram" {
+			continue
+		}
+		key := labelKey(labels, "le")
+		hs := f.hist[key]
+		if hs == nil {
+			hs = &hseries{}
+			f.hist[key] = hs
+		}
+		switch suffix {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket sample without le label", lineNo, famName)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", lineNo, leStr, err)
+			}
+			if hs.started {
+				if le <= hs.lastLe {
+					return fmt.Errorf("line %d: %s{%s}: le %g not greater than previous %g", lineNo, famName, key, le, hs.lastLe)
+				}
+				if val < hs.lastCum {
+					return fmt.Errorf("line %d: %s{%s}: cumulative count %g below previous %g", lineNo, famName, key, val, hs.lastCum)
+				}
+			}
+			hs.started, hs.lastLe, hs.lastCum = true, le, val
+			if math.IsInf(le, 1) {
+				hs.haveInf, hs.infCum = true, val
+			}
+		case "_sum":
+			hs.haveSum = true
+		case "_count":
+			hs.haveCnt, hs.count = true, val
+		default:
+			return fmt.Errorf("line %d: bare sample %s in histogram family %s", lineNo, name, famName)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for name, f := range fams {
+		if f.typ != "histogram" {
+			continue
+		}
+		for key, hs := range f.hist {
+			switch {
+			case !hs.haveInf:
+				return fmt.Errorf("histogram %s{%s}: no le=\"+Inf\" bucket", name, key)
+			case !hs.haveCnt:
+				return fmt.Errorf("histogram %s{%s}: missing _count", name, key)
+			case !hs.haveSum:
+				return fmt.Errorf("histogram %s{%s}: missing _sum", name, key)
+			case hs.infCum != hs.count:
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", name, key, hs.infCum, hs.count)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into metric name, label map and the
+// value token. Timestamps (a second trailing token) are accepted and
+// ignored.
+func parseSample(line string) (string, map[string]string, string, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", nil, "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := map[string]string{}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, "", err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("expected value (and optional timestamp) after %q", name)
+	}
+	return name, labels, fields[0], nil
+}
+
+// parseLabels consumes `key="value",...}` (the opening brace already
+// stripped) and returns the labels and the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.Index(s, "=")
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", s)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Errorf("unterminated value for label %s", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, "", fmt.Errorf("dangling escape in label %s", key)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[0])
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %s", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[key] = val.String()
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// labelKey serializes a label map minus one label, in sorted key order, so
+// it can identify a histogram series across its _bucket/_sum/_count lines.
+func labelKey(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
+
+	"treesched/internal/obs"
 )
 
 // WriteMetrics renders the fleet's operational metrics in the Prometheus
@@ -30,17 +33,39 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		label string
 		st    ActorStats
 		snap  *Snapshot
+		h     ActorHists
 	}
 	rows := make([]row, len(actors))
 	for i, a := range actors {
-		rows[i] = row{label: escapeLabel(a.name), st: a.Stats(), snap: a.Snapshot()}
+		rows[i] = row{label: escapeLabel(a.name), st: a.Stats(), snap: a.Snapshot(), h: a.Hists()}
 	}
 
-	fmt.Fprintf(w, "# TYPE schedserve_instances gauge\nschedserve_instances %d\n", len(rows))
+	fmt.Fprintf(w, "# HELP schedserve_instances registered instances\n# TYPE schedserve_instances gauge\nschedserve_instances %d\n", len(rows))
 	emit := func(metric, typ, help string, value func(r *row) string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
 		for i := range rows {
 			fmt.Fprintf(w, "%s{instance=%q} %s\n", metric, rows[i].label, value(&rows[i]))
+		}
+	}
+	// emitHist renders one histogram family: cumulative _bucket series per
+	// instance culminating in +Inf, then _sum and _count. _count is derived
+	// from the same snapshot as the buckets, so the two always agree even
+	// when a scrape races observations.
+	emitHist := func(metric, help string, snap func(r *row) obs.HistSnapshot) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", metric, help, metric)
+		for i := range rows {
+			s := snap(&rows[i])
+			cum := int64(0)
+			for b, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if b < len(s.Bounds) {
+					le = strconv.FormatFloat(s.Bounds[b], 'g', -1, 64)
+				}
+				fmt.Fprintf(w, "%s_bucket{instance=%q,le=%q} %d\n", metric, rows[i].label, le, cum)
+			}
+			fmt.Fprintf(w, "%s_sum{instance=%q} %g\n", metric, rows[i].label, s.Sum)
+			fmt.Fprintf(w, "%s_count{instance=%q} %d\n", metric, rows[i].label, cum)
 		}
 	}
 	emit("schedserve_epoch", "counter", "latest published snapshot epoch",
@@ -51,10 +76,16 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		func(r *row) string { return fmt.Sprintf("%d", r.st.Submissions) })
 	emit("schedserve_submissions_failed_total", "counter", "churn submissions rejected",
 		func(r *row) string { return fmt.Sprintf("%d", r.st.Failed) })
-	emit("schedserve_round_latency_seconds_sum", "counter", "total round wall time (update+solve+publish)",
-		func(r *row) string { return fmt.Sprintf("%g", r.st.TotalLatency.Seconds()) })
+	emitHist("schedserve_round_latency_seconds", "round wall time (update+solve+publish)",
+		func(r *row) obs.HistSnapshot { return r.h.RoundLatency })
 	emit("schedserve_round_latency_seconds_max", "gauge", "worst round wall time",
 		func(r *row) string { return fmt.Sprintf("%g", r.st.MaxLatency.Seconds()) })
+	emitHist("schedserve_solve_seconds", "session solve time within a round",
+		func(r *row) obs.HistSnapshot { return r.h.SolveSeconds })
+	emitHist("schedserve_queue_wait_seconds", "delay between a kick and its round starting",
+		func(r *row) obs.HistSnapshot { return r.h.QueueWait })
+	emitHist("schedserve_batch_size", "submissions coalesced per round",
+		func(r *row) obs.HistSnapshot { return r.h.BatchSize })
 	emit("schedserve_last_batch", "gauge", "submissions coalesced into the latest round",
 		func(r *row) string { return fmt.Sprintf("%d", r.snap.Batch) })
 	emit("schedserve_live_demands", "gauge", "live demands at the latest epoch",

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	treesched "treesched"
+)
+
+// TestExpositionFormat parses WriteMetrics' actual output with the
+// exposition validator instead of grepping substrings: every sample must
+// belong to an announced family, families must be contiguous, and the
+// histogram families must be internally consistent (+Inf == _count,
+// monotone cumulative buckets).
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry(2)
+	defer r.Close()
+	for _, name := range []string{"fmt-a", "fmt-b"} {
+		a, err := r.Create(name, testInstance(t, smallCfg, 61), treesched.Options{Epsilon: 0.1, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.Submit(treesched.Churn{Add: []treesched.NewDemand{{U: 1, V: 4, Profit: 3}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	out := b.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("WriteMetrics output fails validation: %v\noutput:\n%s", err, out)
+	}
+	// The histograms count churn rounds only (the initial epoch-0 solve is
+	// not a round), so one submission means exactly one observation.
+	for _, want := range []string{
+		`schedserve_round_latency_seconds_bucket{instance="fmt-a",le="+Inf"} 1`,
+		`schedserve_round_latency_seconds_count{instance="fmt-a"} 1`,
+		`schedserve_batch_size_count{instance="fmt-b"} 1`,
+		`schedserve_queue_wait_seconds_count{instance="fmt-a"} 1`,
+		`schedserve_solve_seconds_count{instance="fmt-b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator hand-tampered documents
+// covering each structural rule it enforces.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{
+			"sample without TYPE",
+			"foo_total 3\n",
+			"without a preceding TYPE",
+		},
+		{
+			"sample without HELP",
+			"# TYPE foo_total counter\nfoo_total 3\n",
+			"without a preceding HELP",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP foo x\n# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"TYPE after samples",
+			"# HELP foo x\n# TYPE foo counter\nfoo 1\n# TYPE foo counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"interleaved families",
+			"# HELP a x\n# TYPE a counter\n# HELP b x\n# TYPE b counter\na 1\nb 2\na 3\n",
+			"must be contiguous",
+		},
+		{
+			"bad value",
+			"# HELP foo x\n# TYPE foo gauge\nfoo zebra\n",
+			"bad sample value",
+		},
+		{
+			"bad metric name",
+			"# HELP foo x\n# TYPE foo gauge\n0foo 1\n",
+			"invalid metric name",
+		},
+		{
+			"unterminated label",
+			"# HELP foo x\n# TYPE foo gauge\nfoo{a=\"b 1\n",
+			"unterminated value",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"below previous",
+		},
+		{
+			"non-increasing le",
+			"# HELP h x\n# TYPE h histogram\n" +
+				"h_bucket{le=\"2\"} 1\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"not greater than previous",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"no le=\"+Inf\" bucket",
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"!= _count",
+		},
+		{
+			"missing sum",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 4\n",
+			"missing _sum",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("validator accepted tampered doc:\n%s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if err := ValidateExposition(strings.NewReader(
+		"# a free comment\n# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 4\nh_sum 7.5\nh_count 4\n")); err != nil {
+		t.Fatalf("validator rejected a well-formed doc: %v", err)
+	}
+}

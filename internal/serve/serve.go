@@ -52,6 +52,7 @@ import (
 
 	treesched "treesched"
 	"treesched/internal/engine"
+	"treesched/internal/obs"
 )
 
 // ErrClosed is returned by Submit after the actor was closed (the instance
@@ -129,8 +130,15 @@ type Actor struct {
 	pending []*submission
 	running bool
 	closed  bool
+	// queuedAt is when the actor entered the run queue (zero while idle or
+	// already stepping); the gap to the next step() is the queue-wait
+	// distribution — the registry pool's backpressure signal.
+	queuedAt time.Time
 
 	snap atomic.Pointer[Snapshot]
+
+	// hists are the actor's lock-free distributions (see ActorHists).
+	hists actorHists
 
 	// Round accounting, written only by the (single) round runner.
 	statsMu      sync.Mutex
@@ -140,6 +148,46 @@ type Actor struct {
 	totalLatency time.Duration
 	maxLatency   time.Duration
 	epoch        uint64
+}
+
+// actorHists bundles the per-actor histograms. Observation is lock-free
+// (obs.Histogram), so recording from the round runner never contends with
+// scrapes.
+type actorHists struct {
+	latency *obs.Histogram // round wall seconds (update+solve+publish)
+	solve   *obs.Histogram // Session solve seconds within a round
+	wait    *obs.Histogram // enqueue -> step queue wait, seconds
+	batch   *obs.Histogram // submissions coalesced per round
+}
+
+func newActorHists() actorHists {
+	return actorHists{
+		latency: obs.NewLatencyHistogram(),
+		solve:   obs.NewLatencyHistogram(),
+		wait:    obs.NewLatencyHistogram(),
+		batch:   obs.NewSizeHistogram(),
+	}
+}
+
+// ActorHists is a point-in-time snapshot of an actor's distributions, the
+// histogram complement of ActorStats: round latency, solve time and queue
+// wait in seconds, coalesced batch size in submissions. Buckets are
+// obs.Histogram's log₂ scheme.
+type ActorHists struct {
+	RoundLatency obs.HistSnapshot `json:"round_latency_seconds"`
+	SolveSeconds obs.HistSnapshot `json:"solve_seconds"`
+	QueueWait    obs.HistSnapshot `json:"queue_wait_seconds"`
+	BatchSize    obs.HistSnapshot `json:"batch_size"`
+}
+
+// Hists snapshots the actor's histograms.
+func (a *Actor) Hists() ActorHists {
+	return ActorHists{
+		RoundLatency: a.hists.latency.Snapshot(),
+		SolveSeconds: a.hists.solve.Snapshot(),
+		QueueWait:    a.hists.wait.Snapshot(),
+		BatchSize:    a.hists.batch.Snapshot(),
+	}
 }
 
 // ActorStats is a point-in-time view of an actor's round accounting plus
@@ -166,7 +214,7 @@ type ActorStats struct {
 // published as epoch 0 before NewActor returns, so Snapshot never returns
 // nil for a live actor.
 func NewActor(name string, sess *treesched.Session) (*Actor, error) {
-	a := &Actor{name: name, sess: sess}
+	a := &Actor{name: name, sess: sess, hists: newActorHists()}
 	a.sched = func(a *Actor) { go a.step() }
 	if err := a.publishInitial(); err != nil {
 		return nil, err
@@ -176,7 +224,7 @@ func NewActor(name string, sess *treesched.Session) (*Actor, error) {
 
 // newPooledActor is NewActor scheduling rounds onto a registry pool.
 func newPooledActor(name string, sess *treesched.Session, sched func(*Actor)) (*Actor, error) {
-	a := &Actor{name: name, sess: sess, sched: sched}
+	a := &Actor{name: name, sess: sess, sched: sched, hists: newActorHists()}
 	if err := a.publishInitial(); err != nil {
 		return nil, err
 	}
@@ -246,6 +294,7 @@ func (a *Actor) Submit(c treesched.Churn) ([]int, uint64, error) {
 	kick := !a.running
 	if kick {
 		a.running = true
+		a.queuedAt = time.Now()
 	}
 	a.mu.Unlock()
 	if kick {
@@ -277,6 +326,10 @@ func (a *Actor) close() {
 // per actor, so rounds never overlap — the Session sees one writer.
 func (a *Actor) step() {
 	a.mu.Lock()
+	if !a.queuedAt.IsZero() {
+		a.hists.wait.Observe(time.Since(a.queuedAt).Seconds())
+		a.queuedAt = time.Time{}
+	}
 	batch := a.pending
 	a.pending = nil
 	a.mu.Unlock()
@@ -285,6 +338,7 @@ func (a *Actor) step() {
 	}
 	a.mu.Lock()
 	if len(a.pending) > 0 && !a.closed {
+		a.queuedAt = time.Now()
 		a.mu.Unlock()
 		a.sched(a) // back of the queue: fair across a registry's actors
 		return
@@ -324,7 +378,9 @@ func (a *Actor) round(batch []*submission) {
 		}
 	}
 
+	solveStart := time.Now()
 	res, items, err := a.sess.SolveWithItems()
+	a.hists.solve.Observe(time.Since(solveStart).Seconds())
 	if err != nil {
 		// The demand set is updated but unsolved; keep the previous
 		// snapshot and fail this round's waiters. Submissions whose churn
@@ -352,6 +408,8 @@ func (a *Actor) round(batch []*submission) {
 		a.maxLatency = lat
 	}
 	a.statsMu.Unlock()
+	a.hists.latency.Observe(lat.Seconds())
+	a.hists.batch.Observe(float64(len(batch)))
 
 	snap := buildSnapshot(epoch, res, items, len(batch), lat)
 	a.snap.Store(snap)

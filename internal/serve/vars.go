@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	treesched "treesched"
+)
+
+// InstanceVars is one instance's slice of the /debug/vars document: the
+// operational counters WriteMetrics exposes for scraping, restated as JSON
+// for humans and ad-hoc tooling, plus the full histogram snapshots.
+type InstanceVars struct {
+	Epoch               uint64                 `json:"epoch"`
+	Rounds              uint64                 `json:"rounds"`
+	Submissions         uint64                 `json:"submissions"`
+	Failed              uint64                 `json:"failed"`
+	TotalLatencySeconds float64                `json:"total_latency_seconds"`
+	MaxLatencySeconds   float64                `json:"max_latency_seconds"`
+	Live                int                    `json:"live"`
+	Accepted            int                    `json:"accepted"`
+	Profit              float64                `json:"profit"`
+	Session             treesched.SessionStats `json:"session"`
+	Hists               ActorHists             `json:"hists"`
+}
+
+// Vars is the whole /debug/vars document.
+type Vars struct {
+	Workers   int                     `json:"workers"`
+	Instances map[string]InstanceVars `json:"instances"`
+}
+
+// Vars gathers a point-in-time JSON view of the fleet.
+func (r *Registry) Vars() Vars {
+	r.mu.Lock()
+	actors := make([]*Actor, 0, len(r.actors))
+	for _, a := range r.actors {
+		if a != nil {
+			actors = append(actors, a)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(actors, func(i, j int) bool { return actors[i].name < actors[j].name })
+
+	v := Vars{Workers: r.workers, Instances: make(map[string]InstanceVars, len(actors))}
+	for _, a := range actors {
+		st, snap := a.Stats(), a.Snapshot()
+		v.Instances[a.name] = InstanceVars{
+			Epoch:               st.Epoch,
+			Rounds:              st.Rounds,
+			Submissions:         st.Submissions,
+			Failed:              st.Failed,
+			TotalLatencySeconds: st.TotalLatency.Seconds(),
+			MaxLatencySeconds:   st.MaxLatency.Seconds(),
+			Live:                snap.Live,
+			Accepted:            len(snap.Accepted),
+			Profit:              snap.Result.Profit,
+			Session:             st.Session,
+			Hists:               a.Hists(),
+		}
+	}
+	return v
+}
+
+// WriteVars renders the fleet as an expvar-style indented JSON document.
+func (r *Registry) WriteVars(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Vars())
+}

@@ -84,6 +84,7 @@ func (nw *Network) RunBatched(maxRounds int, cfg BatchConfig) (Stats, error) {
 
 	var stats Stats
 	var active, due []int
+	var dueMail []bool // aligned with due: node was due because of mail
 	var outs []roundOutput
 	round := 0
 	for {
@@ -92,15 +93,17 @@ func (nw *Network) RunBatched(maxRounds int, cfg BatchConfig) (Stats, error) {
 		}
 		stats.Rounds++
 		active = sched.pop(round, active[:0])
-		due = due[:0]
+		due, dueMail = due[:0], dueMail[:0]
 		busy := false
 		for _, c := range active {
 			for _, i := range comps[c] {
 				if len(tr.Inbox(i)) > 0 {
 					busy = true
 					due = append(due, i)
+					dueMail = append(dueMail, true)
 				} else if nodeNext[i] >= 0 && nodeNext[i] <= round {
 					due = append(due, i)
+					dueMail = append(dueMail, false)
 				}
 			}
 		}
@@ -116,6 +119,7 @@ func (nw *Network) RunBatched(maxRounds int, cfg BatchConfig) (Stats, error) {
 			}
 		})
 		sent := 0
+		busyNodes := 0
 		for k, i := range due {
 			out := &outs[k]
 			if out.err != nil {
@@ -147,10 +151,17 @@ func (nw *Network) RunBatched(maxRounds int, cfg BatchConfig) (Stats, error) {
 				sent++
 				size := m.Payload.Size()
 				stats.TotalSize += size
+				stats.MsgSizeHist[HistBucket(size)]++
 				if size > stats.MaxMessageSize {
 					stats.MaxMessageSize = size
 				}
 				sched.setMail(comp[m.To], round+1)
+			}
+			// A node is busy when it received or sent this round — the same
+			// rule the goroutine driver applies to every node; non-due nodes
+			// are frozen (no mail, no send), so counting the due suffices.
+			if dueMail[k] || len(out.outbox) > 0 {
+				busyNodes++
 			}
 		}
 		// Reschedule the components that just ran from their members' fresh
@@ -171,6 +182,7 @@ func (nw *Network) RunBatched(maxRounds int, cfg BatchConfig) (Stats, error) {
 		}
 		if busy {
 			stats.BusyRounds++
+			stats.BusyNodeHist[HistBucket(busyNodes)]++
 		}
 		tr.Flip()
 		if doneCount == n && sent == 0 {

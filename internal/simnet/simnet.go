@@ -19,6 +19,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"sync"
 )
@@ -51,7 +52,16 @@ type Node interface {
 	Done() bool
 }
 
-// Stats aggregates the run's communication costs.
+// StatsHistBuckets is the size of Stats' power-of-two histograms: bucket i
+// counts observations v with 2^i ≤ v < 2^(i+1) (bucket 0 also takes v ≤ 1;
+// the last bucket is unbounded above), so 20 buckets cover 1 through ~1M —
+// the full range of the million-node runtime.
+const StatsHistBuckets = 20
+
+// Stats aggregates the run's communication costs. The histograms are plain
+// fixed-size counters — deterministic functions of the executed schedule,
+// like every other field — so both drivers must produce identical Stats
+// including them, and the dist equivalence suites compare the whole struct.
 type Stats struct {
 	Rounds         int // synchronous rounds elapsed (including fast-forwarded idle rounds)
 	SkippedRounds  int // idle rounds fast-forwarded rather than executed
@@ -59,6 +69,31 @@ type Stats struct {
 	Messages       int // total messages delivered
 	TotalSize      int // sum of payload sizes (units of M)
 	MaxMessageSize int // largest single payload
+
+	// BusyNodeHist[i] counts busy rounds whose busy-node count — processors
+	// that received or sent at least one message that round — fell in
+	// power-of-two bucket i; its entries sum to BusyRounds. The shape
+	// distinguishes a schedule trickling through a few hot processors from
+	// genuinely wide rounds.
+	BusyNodeHist [StatsHistBuckets]int
+	// MsgSizeHist[i] counts delivered messages whose payload size (units of
+	// M) fell in bucket i; its entries sum to Messages.
+	MsgSizeHist [StatsHistBuckets]int
+}
+
+// HistBucket returns the power-of-two bucket of v under the Stats
+// histogram scheme: floor(log2(v)) clamped to [0, StatsHistBuckets).
+//
+//schedvet:hot
+func HistBucket(v int) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(v)) - 1
+	if b >= StatsHistBuckets {
+		b = StatsHistBuckets - 1
+	}
+	return b
 }
 
 // FastForwarder is an optional Node extension (mandatory for the batched
@@ -202,16 +237,20 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 
 	var stats Stats
 	tr := NewMemTransport(len(nw.nodes))
+	inboxBusy := make([]bool, len(nw.nodes))
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return stats, fmt.Errorf("simnet: exceeded %d rounds without termination", maxRounds)
 		}
 		stats.Rounds++
 		busy := false
+		busyNodes := 0
 		for i := range nw.nodes {
 			inbox := tr.Inbox(i)
-			if len(inbox) > 0 {
+			inboxBusy[i] = len(inbox) > 0
+			if inboxBusy[i] {
 				busy = true
+				busyNodes++
 			}
 			nw.handles[i].in <- roundInput{round: round, inbox: inbox}
 		}
@@ -244,9 +283,13 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 				sent++
 				size := m.Payload.Size()
 				stats.TotalSize += size
+				stats.MsgSizeHist[HistBucket(size)]++
 				if size > stats.MaxMessageSize {
 					stats.MaxMessageSize = size
 				}
+			}
+			if len(out.outbox) > 0 && !inboxBusy[i] {
+				busyNodes++
 			}
 		}
 		if nodeErr != nil {
@@ -258,6 +301,7 @@ func (nw *Network) Run(maxRounds int) (Stats, error) {
 		}
 		if busy {
 			stats.BusyRounds++
+			stats.BusyNodeHist[HistBucket(busyNodes)]++
 		}
 		tr.Flip()
 		if allDone && sent == 0 {

@@ -184,7 +184,20 @@ type Options struct {
 	// so the switch exists for benchmarking cold baselines and for capping
 	// memory on sessions whose solves are rare relative to churn.
 	DisableWarmStart bool
+	// Recorder observes solve-path phases (prepare, apply, component
+	// decomposition, per-shard schedules, merge, greedy) and counters (warm
+	// replays, granted workers/lanes); see doc.go, "Observability". Nil —
+	// the default — costs a single pointer check per emission site.
+	// Recorders observe and never steer: results are bitwise identical
+	// with or without one attached. internal/obs supplies the timing
+	// implementation and turns the stream into a per-window SolveReport.
+	Recorder Recorder
 }
+
+// Recorder is the solve-path observability seam; obs.NewRecorder returns
+// the standard timing implementation. Implementations must be safe for
+// concurrent use — parallel solves emit from worker goroutines.
+type Recorder = engine.Recorder
 
 func (o *Options) normalize() {
 	if o.Epsilon == 0 {
@@ -340,8 +353,26 @@ func solveItems(items []engine.Item, opts Options, unit bool, toAssignment func(
 	return out, nil
 }
 
+// preparedFor builds the unit-pipeline prepared state with Options.Recorder
+// attached, bracketing the preparation in PhasePrepare like the caching
+// Solver does. engine.RunParallel is exactly PrepareWorkers + RunParallel,
+// so routing the one-shot path through here changes no result.
+func preparedFor(items []engine.Item, opts Options) *engine.Prepared {
+	rec := opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhasePrepare)
+	}
+	prep := engine.PrepareWorkers(items, opts.Parallelism)
+	prep.SetRecorder(rec)
+	if rec != nil {
+		rec.EndSpan(engine.PhasePrepare, tok)
+	}
+	return prep
+}
+
 func runUnit(items []engine.Item, cfg engine.Config, opts Options, out *Result) ([]int, error) {
-	eres, err := engine.RunParallel(items, cfg, opts.Parallelism)
+	eres, err := preparedFor(items, opts).RunParallel(cfg, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +382,7 @@ func runUnit(items []engine.Item, cfg engine.Config, opts Options, out *Result) 
 	if !opts.Simulate {
 		return eres.Selected, nil
 	}
-	dres, err := dist.Run(items, cfg)
+	dres, err := dist.RunOpts(items, cfg, dist.Options{Recorder: opts.Recorder})
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +394,19 @@ func runUnit(items []engine.Item, cfg engine.Config, opts Options, out *Result) 
 }
 
 func runArbitrary(items []engine.Item, cfg engine.Config, opts Options, out *Result) ([]int, error) {
-	ares, err := engine.RunArbitraryParallel(items, cfg, opts.Parallelism)
+	// As in runUnit: RunArbitraryParallel ≡ PrepareArbitraryWorkers +
+	// RunParallel, re-routed so Options.Recorder reaches both height classes.
+	rec := opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhasePrepare)
+	}
+	ap := engine.PrepareArbitraryWorkers(items, opts.Parallelism)
+	ap.SetRecorder(rec)
+	if rec != nil {
+		rec.EndSpan(engine.PhasePrepare, tok)
+	}
+	ares, err := ap.RunParallel(cfg, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +435,7 @@ func runArbitrary(items []engine.Item, cfg engine.Config, opts Options, out *Res
 		scfg := cfg
 		scfg.Mode = sub.mode
 		scfg.Xi = 0
-		dres, err := dist.Run(sub.items, scfg)
+		dres, err := dist.RunOpts(sub.items, scfg, dist.Options{Recorder: opts.Recorder})
 		if err != nil {
 			return nil, err
 		}

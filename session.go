@@ -163,12 +163,22 @@ func (s *Solver) Session(in *Instance) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := s.opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhasePrepare)
+	}
+	p := engine.PrepareWorkers(items, s.opts.Parallelism)
+	p.SetRecorder(rec)
+	if rec != nil {
+		rec.EndSpan(engine.PhasePrepare, tok)
+	}
 	sess := &Session{
 		solver:  s,
 		trees:   m.Trees,
 		layered: layered,
 		nv:      m.NumVertices,
-		p:       engine.PrepareWorkers(items, s.opts.Parallelism),
+		p:       p,
 		live:    make(map[int]bool, len(m.Demands)),
 		next:    len(m.Demands),
 	}
@@ -197,6 +207,12 @@ func (sess *Session) Demands() int {
 func (sess *Session) Update(c Churn) ([]int, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+
+	rec := sess.solver.opts.Recorder
+	var utok int64
+	if rec != nil {
+		utok = rec.StartSpan(engine.PhaseUpdate)
+	}
 
 	removing := make(map[int]bool, len(c.Remove))
 	for _, id := range c.Remove {
@@ -279,12 +295,23 @@ func (sess *Session) Update(c Churn) ([]int, error) {
 		sess.warmBase.ColdSolves += w.ColdSolves
 		sess.warmBase.ComponentsReplayed += w.ComponentsReplayed
 		sess.warmBase.ComponentsResolved += w.ComponentsResolved
+		var ptok int64
+		if rec != nil {
+			ptok = rec.StartSpan(engine.PhasePrepare)
+		}
 		sess.p = engine.PrepareWorkers(sess.p.Items(), sess.solver.opts.Parallelism)
+		sess.p.SetRecorder(rec) // the retired Prepared took the attachment with it
+		if rec != nil {
+			rec.EndSpan(engine.PhasePrepare, ptok)
+		}
 		if !sess.solver.opts.DisableWarmStart {
 			sess.p.EnableWarmStart()
 		}
 		sess.arrived = 0
 		sess.reprepares++
+	}
+	if rec != nil {
+		rec.EndSpan(engine.PhaseUpdate, utok)
 	}
 	return ids, nil
 }

@@ -277,11 +277,20 @@ func (s *Solver) prepare(m *model.Instance) (*engine.Prepared, error) {
 	if ok {
 		return p, nil
 	}
+	rec := s.opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhasePrepare)
+	}
 	items, err := s.buildItems(m)
 	if err != nil {
 		return nil, err
 	}
 	p = engine.PrepareWorkers(items, s.opts.Parallelism)
+	p.SetRecorder(rec) // before publishing: SetRecorder must not overlap a run
+	if rec != nil {
+		rec.EndSpan(engine.PhasePrepare, tok)
+	}
 	s.mu.Lock()
 	s.prepared.put(key, p)
 	s.mu.Unlock()
@@ -297,11 +306,20 @@ func (s *Solver) prepareArbitrary(m *model.Instance) (*engine.ArbitraryPrepared,
 	if ok {
 		return ap, nil
 	}
+	rec := s.opts.Recorder
+	var tok int64
+	if rec != nil {
+		tok = rec.StartSpan(engine.PhasePrepare)
+	}
 	items, err := s.buildItems(m)
 	if err != nil {
 		return nil, err
 	}
 	ap = engine.PrepareArbitraryWorkers(items, s.opts.Parallelism)
+	ap.SetRecorder(rec)
+	if rec != nil {
+		rec.EndSpan(engine.PhasePrepare, tok)
+	}
 	s.mu.Lock()
 	s.arbitrary.put(key, ap)
 	s.mu.Unlock()
